@@ -1,0 +1,214 @@
+//! Criterion micro-benchmarks for the schedule-management primitives.
+//!
+//! §5's premise: "The amount of work done to implement the Tiger schedule
+//! is small relative to the work needed to move megabytes of data per
+//! second from the disk to the network. … the speed of the schedule
+//! management operations is of little consequence." These benches put
+//! numbers on that: every operation is sub-microsecond to a few
+//! microseconds, vastly cheaper than a 40+ ms disk read.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tiger_layout::ids::ViewerInstance;
+use tiger_layout::{BlockNum, DiskId, FileId, MirrorPlacement, StripeConfig, ViewerId};
+use tiger_sched::{
+    Deschedule, NetworkSchedule, ScheduleParams, ScheduleView, SlotId, StreamKind, ViewerState,
+};
+use tiger_sim::{Bandwidth, ByteSize, SimDuration, SimTime};
+
+fn sosp_params() -> ScheduleParams {
+    ScheduleParams::derive(
+        StripeConfig::new(14, 4, 4),
+        SimDuration::from_secs(1),
+        ByteSize::from_bytes(250_000),
+        SimDuration::from_nanos(92_954_226),
+        Bandwidth::from_mbit_per_sec(135),
+    )
+}
+
+fn vs(slot: u32, viewer: u64, play_seq: u32) -> ViewerState {
+    ViewerState {
+        instance: ViewerInstance {
+            viewer: ViewerId(viewer),
+            incarnation: 0,
+        },
+        client: 1,
+        file: FileId(3),
+        position: BlockNum(play_seq),
+        slot: SlotId(slot),
+        play_seq,
+        bitrate: Bandwidth::from_mbit_per_sec(2),
+        kind: StreamKind::Primary,
+    }
+}
+
+fn bench_slot_math(c: &mut Criterion) {
+    let p = sosp_params();
+    c.bench_function("slot_math/slot_send_time", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % p.capacity();
+            black_box(p.slot_send_time(DiskId(i % 56), SlotId(i), SimTime::from_secs(1_000)))
+        })
+    });
+    c.bench_function("slot_math/owner_of_slot", |b| {
+        let mut t = SimTime::from_secs(500);
+        b.iter(|| {
+            t += SimDuration::from_micros(37);
+            black_box(p.owner_of_slot(SlotId(301), t))
+        })
+    });
+    c.bench_function("slot_math/owned_slot_range", |b| {
+        let mut t = SimTime::from_secs(500);
+        b.iter(|| {
+            t += SimDuration::from_micros(37);
+            black_box(p.owned_slot_range(DiskId(7), t))
+        })
+    });
+}
+
+fn bench_view_ops(c: &mut Criterion) {
+    c.bench_function("view/apply_viewer_state_fresh", |b| {
+        let mut view = ScheduleView::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let record = vs((i % 602) as u32, i, 0);
+            black_box(view.apply_viewer_state(record, SimTime::ZERO));
+            view.retire(record.slot, &record);
+        })
+    });
+    c.bench_function("view/apply_duplicate", |b| {
+        let mut view = ScheduleView::new();
+        // Populate a realistic window of ~40 slots.
+        for s in 0..40 {
+            view.apply_viewer_state(vs(s, u64::from(s), 5), SimTime::ZERO);
+        }
+        let dup = vs(17, 17, 5);
+        b.iter(|| black_box(view.apply_viewer_state(dup, SimTime::ZERO)))
+    });
+    c.bench_function("view/apply_deschedule", |b| {
+        let mut view = ScheduleView::new();
+        let d = Deschedule {
+            instance: ViewerInstance {
+                viewer: ViewerId(9),
+                incarnation: 0,
+            },
+            slot: SlotId(9),
+        };
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(view.apply_deschedule(
+                d,
+                SimTime::from_millis(t),
+                SimTime::from_millis(t + 3_000),
+            ))
+        })
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let cfg = StripeConfig::new(14, 4, 4);
+    let placement = MirrorPlacement::new(cfg);
+    c.bench_function("layout/block_location", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(cfg.block_location(DiskId(i % 56), BlockNum(i)))
+        })
+    });
+    c.bench_function("layout/mirror_pieces", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(placement.pieces_for(DiskId(i % 56), ByteSize::from_bytes(250_000)))
+        })
+    });
+}
+
+fn bench_net_schedule(c: &mut Criterion) {
+    c.bench_function("net_schedule/fits_under_load", |b| {
+        let mut s = NetworkSchedule::new(
+            14,
+            SimDuration::from_secs(1),
+            Bandwidth::from_mbit_per_sec(135),
+            Some(SimDuration::from_millis(250)),
+        );
+        // ~60 concurrent entries, a realistic per-cub view.
+        for i in 0..60u64 {
+            let inst = ViewerInstance {
+                viewer: ViewerId(i),
+                incarnation: 0,
+            };
+            let start = SimDuration::from_millis((i * 250) % 14_000);
+            let _ = s.insert(inst, start, Bandwidth::from_mbit_per_sec(2), false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let start = SimDuration::from_millis((i * 250) % 14_000);
+            black_box(s.fits(start, Bandwidth::from_mbit_per_sec(2)))
+        })
+    });
+    c.bench_function("net_schedule/insert_abort", |b| {
+        let mut s = NetworkSchedule::new(
+            14,
+            SimDuration::from_secs(1),
+            Bandwidth::from_mbit_per_sec(135),
+            Some(SimDuration::from_millis(250)),
+        );
+        let inst = ViewerInstance {
+            viewer: ViewerId(1),
+            incarnation: 0,
+        };
+        b.iter(|| {
+            let id = s
+                .insert(
+                    inst,
+                    SimDuration::from_millis(250),
+                    Bandwidth::from_mbit_per_sec(2),
+                    true,
+                )
+                .expect("fits");
+            s.abort(id).expect("exists");
+        })
+    });
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
+    use tiger_sim::RngTree;
+    c.bench_function("disk/submit_complete", |b| {
+        let mut d = Disk::new(DiskProfile::sosp97(), RngTree::new(3).fork("bench", 0));
+        let mut now = SimTime::ZERO;
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset = (offset + 250_000) % 1_000_000_000;
+            let done = d
+                .submit(
+                    now,
+                    DiskRequest {
+                        offset,
+                        len: ByteSize::from_bytes(250_000),
+                        kind: RequestKind::Primary,
+                    },
+                )
+                .expect("accepts");
+            d.complete(done);
+            now = done;
+            black_box(done)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_slot_math,
+    bench_view_ops,
+    bench_layout,
+    bench_net_schedule,
+    bench_disk_model
+);
+criterion_main!(benches);

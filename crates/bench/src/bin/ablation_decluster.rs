@@ -1,0 +1,46 @@
+//! §2.3 ablation: the decluster-factor tradeoff.
+//!
+//! "With a decluster factor of 4, only a fifth of total disk and network
+//! bandwidth needs to be reserved for failed mode operation, but a second
+//! failure on any of 8 machines would result in the loss of data.
+//! Conversely, a decluster factor of 2 consumes a third of system bandwidth
+//! for fault tolerance, but can survive failures more than two cubs away
+//! from any other failure."
+
+use tiger_bench::header;
+use tiger_layout::{DiskId, MirrorPlacement, StripeConfig};
+use tiger_sched::ScheduleParams;
+use tiger_sim::{Bandwidth, ByteSize, SimDuration};
+
+fn main() {
+    header(
+        "Ablation: decluster factor (§2.3 tradeoff)",
+        "reserved bandwidth = 1/(d+1); second-failure exposure = 2d machines",
+    );
+    println!("decluster  reserved_bw%  exposure(disks)  capacity(56 disks)  svc_time");
+    let disk = tiger_disk::DiskProfile::sosp97();
+    for d in [1u32, 2, 4, 8] {
+        let stripe = StripeConfig::new(14, 4, d);
+        let placement = MirrorPlacement::new(stripe);
+        let worst = disk.worst_case_read(ByteSize::from_bytes(250_000), d, true);
+        let params = ScheduleParams::derive(
+            stripe,
+            SimDuration::from_secs(1),
+            ByteSize::from_bytes(250_000),
+            worst,
+            Bandwidth::from_mbit_per_sec(135),
+        );
+        println!(
+            "{d:>9}  {:>11.1}  {:>15}  {:>18}  {:?}",
+            placement.reserved_bandwidth_fraction() * 100.0,
+            placement.second_failure_exposure(DiskId(20)).len(),
+            params.capacity(),
+            params.block_service_time(),
+        );
+    }
+    println!();
+    println!(
+        "shape: higher decluster -> less reserved bandwidth (higher capacity) \
+         but wider two-failure exposure."
+    );
+}

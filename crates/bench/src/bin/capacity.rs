@@ -1,0 +1,89 @@
+//! §5 text: capacity derivation.
+//!
+//! "According to our measurements, in the worst case each of the disks is
+//! capable of delivering about 10.75 primary streams while doing its part
+//! in covering for a failed peer. Thus, the 56 disks in the system can
+//! deliver at most 602 streams. … Each disk delivered 3.36 Mbytes/s when
+//! running at load (10.75 0.25 Mbyte/s streams/disk, plus 25% for
+//! mirroring). … the mirroring cubs were delivering 43 streams (plus 10.75
+//! streams for the failed cub) at 2 Mbits/s, and so were sustaining a send
+//! rate of over 13.4 Mbytes/s."
+
+use tiger_bench::{header, sosp_tiger};
+use tiger_layout::{CubId, MirrorPlacement};
+use tiger_sched::ScheduleParams;
+use tiger_sim::SimDuration;
+use tiger_workload::{run_ramp, CatalogSpec, RampConfig};
+
+fn main() {
+    header(
+        "Capacity derivation (paper §5 text)",
+        "10.75 streams/disk worst case; 602 total; 3.36 MB/s/disk; \
+         13.4 MB/s sends from a mirroring cub",
+    );
+    let tiger = sosp_tiger();
+    let params = ScheduleParams::derive(
+        tiger.stripe,
+        tiger.block_play_time,
+        tiger.block_size(),
+        tiger.disk_worst_read(),
+        tiger.nic_capacity,
+    );
+    let spd = tiger.disk.streams_per_disk(
+        tiger.block_size(),
+        tiger.block_play_time,
+        tiger.stripe.decluster,
+        true,
+    );
+    let placement = MirrorPlacement::new(tiger.stripe);
+    println!(
+        "worst-case block service work: {:?}",
+        tiger.disk_worst_read()
+    );
+    println!("streams per disk (worst case): {spd:.2}  (paper: 10.75)");
+    println!(
+        "block service time (lengthened): {:?}",
+        params.block_service_time()
+    );
+    println!(
+        "schedule length: {:?}  (block play time x {} disks)",
+        params.schedule_len(),
+        tiger.stripe.num_disks()
+    );
+    println!(
+        "system capacity: {} streams  (paper: 602)",
+        params.capacity()
+    );
+    println!(
+        "bandwidth reserved for failed mode: {:.1}%  (paper: a fifth at decluster 4)",
+        placement.reserved_bandwidth_fraction() * 100.0
+    );
+    println!(
+        "storage: 56 x 2.25 GB disks, half for primaries = {:.1} hours of 2 Mbit/s content \
+         (paper: slightly more than 64 hours)",
+        56.0 * 2.25e9 / 2.0 / 250_000.0 / 3600.0
+    );
+
+    println!();
+    println!("-- measured at full failed-mode load (mirroring cub 6) --");
+    let cfg = RampConfig {
+        catalog: CatalogSpec::sized_for(SimDuration::from_secs(600), 16),
+        settle: SimDuration::from_secs(25),
+        hold_at_peak: SimDuration::from_secs(120),
+        ..RampConfig::fig9(tiger, SimDuration::from_secs(25))
+    };
+    let result = run_ramp(&cfg);
+    let last = result.windows.last().expect("windows");
+    println!("streams: {}", last.streams);
+    println!(
+        "mirroring-cub disk load: {:.1}%  (paper: >95% duty cycle)",
+        last.disk_load * 100.0
+    );
+    println!(
+        "mean NIC utilization: {:.1}% of 135 Mbit/s = {:.1} MB/s \
+         (paper: >13.4 MB/s from mirroring cubs)",
+        last.nic_utilization * 100.0,
+        last.nic_utilization * 135.0 / 8.0,
+    );
+    let _ = CubId(6);
+}

@@ -1,0 +1,41 @@
+//! Figure 10: stream startup latency vs schedule load.
+//!
+//! Combines an unfailed and a failed run (as the paper did: "This graph
+//! combines the stream starts from both the failed and non-failed tests").
+
+use tiger_bench::{header, sosp_tiger};
+use tiger_layout::CubId;
+use tiger_workload::{format_startup_table, run_startup, StartupConfig, StartupResult};
+
+fn main() {
+    header(
+        "Figure 10: stream startup latency vs schedule load",
+        "min ~1.8 s; mean <5 s at 95% load; >20 s outliers near 100%; \
+         worst cases approach the full 56 s schedule",
+    );
+    let mut unfailed = StartupConfig::fig10(sosp_tiger());
+    unfailed.probes_per_load = 100;
+    let mut failed = unfailed.clone();
+    failed.failed_cub = Some(CubId(5));
+    failed.tiger.seed = unfailed.tiger.seed + 1;
+
+    let a = run_startup(&unfailed);
+    let b = run_startup(&failed);
+    let mut samples = a.samples;
+    samples.extend(b.samples);
+    let combined = StartupResult { samples };
+
+    print!("{}", format_startup_table(&combined));
+    println!();
+    println!("total starts: {}", combined.samples.len());
+    println!("min latency: {:.2} s (paper: ~1.8 s)", combined.min());
+    println!(
+        "max latency: {:.2} s (paper: some took ~the full 56 s schedule)",
+        combined.max()
+    );
+    println!(
+        "mean at 90-100% load: {:.2} s (paper: <5 s at 95%)",
+        combined.mean_in(0.90, 1.01).unwrap_or(f64::NAN)
+    );
+    println!(">20 s outliers: {}", combined.count_above(20.0));
+}

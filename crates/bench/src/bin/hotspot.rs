@@ -1,0 +1,102 @@
+//! §2.2's striping motivation: demand imbalance cannot hotspot a disk.
+//!
+//! "Tiger uses this striping layout in order to handle imbalances in
+//! demand for particular files. Because each file has blocks on every disk
+//! and every server, over the course of playing a file the load is
+//! distributed among all of the system components. Thus, the system will
+//! not overload even if all of the viewers request the same file, assuming
+//! that they are equitemporally spaced."
+//!
+//! This bench plays the *same* file to hundreds of viewers and compares
+//! per-disk load spread (and losses) against the same population spread
+//! over a 64-file catalog. The slot mechanism provides the equitemporal
+//! spacing automatically.
+
+use rand::Rng;
+
+use tiger_bench::{header, sosp_tiger};
+use tiger_core::TigerSystem;
+use tiger_layout::CubId;
+use tiger_sim::{RngTree, SimDuration, SimTime};
+use tiger_workload::{populate_catalog, CatalogSpec};
+
+struct Outcome {
+    streams: u32,
+    min_disk: f64,
+    max_disk: f64,
+    mean_disk: f64,
+    server_missed: u64,
+    client_missing: u64,
+}
+
+fn run(single_file: bool, target: u32) -> Outcome {
+    let tiger = sosp_tiger();
+    let mut sys = TigerSystem::new(tiger);
+    let files = populate_catalog(
+        &mut sys,
+        &CatalogSpec::sized_for(SimDuration::from_secs(400), 64),
+    );
+    let mut chooser = RngTree::new(5).fork("hotspot", 0);
+    let mut t = SimTime::from_millis(100);
+    for _ in 0..target {
+        let client = sys.add_client();
+        let file = if single_file {
+            files[0]
+        } else {
+            files[chooser.gen_range(0..files.len())]
+        };
+        sys.request_start(t, client, file);
+        // Arrivals ~1.2 s apart; Tiger's slots enforce the equitemporal
+        // spacing regardless.
+        t = t + SimDuration::from_millis(1_200);
+    }
+    // Settle, then measure one 60 s window.
+    let settle = t + SimDuration::from_secs(30);
+    sys.run_until(settle);
+    sys.sample_window(settle, CubId(0), None);
+    let end = settle + SimDuration::from_secs(60);
+    sys.run_until(end);
+
+    let mut loads: Vec<f64> = Vec::new();
+    for cub in sys.cubs() {
+        for d in cub.disks() {
+            loads.push(d.load_window(end));
+        }
+    }
+    let report = sys.all_clients_report();
+    Outcome {
+        streams: sys.controller().active_streams(),
+        min_disk: loads.iter().copied().fold(f64::INFINITY, f64::min),
+        max_disk: loads.iter().copied().fold(0.0, f64::max),
+        mean_disk: loads.iter().sum::<f64>() / loads.len() as f64,
+        server_missed: sys.metrics().loss.server_missed,
+        client_missing: report.blocks_missing,
+    }
+}
+
+fn main() {
+    header(
+        "Hotspot immunity (§2.2 striping motivation)",
+        "all viewers on ONE file load the disks as evenly as viewers spread \
+         over 64 files — striping makes demand imbalance a non-event",
+    );
+    println!("workload        streams  disk_load min/mean/max   missed  client_missing");
+    for (label, single) in [("64-file spread", false), ("single hot file", true)] {
+        let o = run(single, 300);
+        println!(
+            "{label:<15} {:>7}   {:>5.1}% /{:>5.1}% /{:>5.1}%  {:>6}  {:>14}",
+            o.streams,
+            o.min_disk * 100.0,
+            o.mean_disk * 100.0,
+            o.max_disk * 100.0,
+            o.server_missed,
+            o.client_missing,
+        );
+    }
+    println!();
+    println!(
+        "shape: the single-hot-file column shows the same per-disk load band \
+         and zero overload losses — every disk holds a slice of the hot file, \
+         and the slot schedule spaces its viewers equitemporally."
+    );
+}

@@ -1,0 +1,344 @@
+//! The client (viewer) model.
+//!
+//! §5: "we ran a special client application that does not render any video,
+//! but rather simply makes sure that the expected data arrives on time."
+//! Each simulated client machine carries many viewers; a viewer records
+//! per-block arrival (assembling declustered mirror pieces when the system
+//! is in failed mode) and reports anything it never received.
+
+use std::collections::HashMap;
+
+use tiger_layout::ids::ViewerInstance;
+use tiger_layout::FileId;
+use tiger_sim::{SimDuration, SimTime};
+
+/// How many block play times late a block may arrive before the client
+/// discards it as useless for rendering.
+pub const LATE_GRACE_BLOCKS: u64 = 10;
+
+/// Progress of one viewer (one play-request instance).
+#[derive(Clone, Debug)]
+pub struct ViewerProgress {
+    /// The file being played.
+    pub file: FileId,
+    /// Total blocks in the file.
+    pub num_blocks: u32,
+    /// When the start request was issued.
+    pub requested_at: SimTime,
+    /// Schedule load at request time (for the Figure 10 x-axis).
+    pub load_at_request: f64,
+    /// When the first byte-complete block arrived.
+    pub first_block_at: Option<SimTime>,
+    /// Per-block received flags.
+    received: Vec<bool>,
+    /// Partial mirror-piece assembly: block -> bitmask of pieces seen.
+    pieces: HashMap<u32, (u32, u32)>, // (mask, total)
+    /// First block this play instance covers (0 for a from-the-top play;
+    /// a resume or seek starts later). Blocks below it are not expected.
+    pub base_block: u32,
+    /// Blocks that arrived too late to be rendered (discarded).
+    pub late_blocks: u32,
+    /// Whether the viewer was stopped by request.
+    pub stopped: bool,
+    /// Highest block index received (None before any data).
+    pub high_water: Option<u32>,
+}
+
+impl ViewerProgress {
+    fn new(
+        file: FileId,
+        num_blocks: u32,
+        base_block: u32,
+        requested_at: SimTime,
+        load: f64,
+    ) -> Self {
+        let mut received = vec![false; num_blocks as usize];
+        // Blocks before the base are not part of this play instance; mark
+        // them received so the gap accounting ignores them.
+        for r in received.iter_mut().take(base_block as usize) {
+            *r = true;
+        }
+        ViewerProgress {
+            file,
+            num_blocks,
+            requested_at,
+            load_at_request: load,
+            first_block_at: None,
+            received,
+            pieces: HashMap::new(),
+            base_block,
+            late_blocks: 0,
+            stopped: false,
+            high_water: None,
+        }
+    }
+
+    /// Whether every block arrived.
+    pub fn complete(&self) -> bool {
+        self.received.iter().all(|&b| b)
+    }
+
+    /// Whether block `b` was (fully) received.
+    pub fn block_received(&self, b: u32) -> bool {
+        self.received.get(b as usize).copied().unwrap_or(false)
+    }
+
+    /// Blocks received so far (within this play instance's range).
+    pub fn blocks_received(&self) -> u32 {
+        self.received[self.base_block as usize..]
+            .iter()
+            .filter(|&&b| b)
+            .count() as u32
+    }
+
+    /// Blocks that should have arrived but did not: every gap below the
+    /// high-water mark. A viewer that is still mid-play at measurement time
+    /// does not count its unplayed tail; use
+    /// [`ViewerProgress::tail_missing`] for runs that covered the full
+    /// play time.
+    pub fn blocks_missing(&self) -> u32 {
+        let Some(high) = self.high_water else {
+            return 0; // Never started; counted as a start failure, not loss.
+        };
+        self.received[..=high as usize]
+            .iter()
+            .filter(|&&b| !b)
+            .count() as u32
+    }
+
+    /// Blocks above the high-water mark that never arrived. Zero for
+    /// stopped viewers; for completed runs this exposes starved streams
+    /// (e.g. schedule information lost in a failure).
+    pub fn tail_missing(&self) -> u32 {
+        if self.stopped {
+            return 0;
+        }
+        let Some(high) = self.high_water else {
+            return 0;
+        };
+        self.num_blocks - (high + 1)
+    }
+
+    /// The start latency, if the first block arrived.
+    pub fn start_latency_secs(&self) -> Option<f64> {
+        self.first_block_at
+            .map(|t| t.saturating_since(self.requested_at).as_secs_f64())
+    }
+}
+
+/// Aggregate per-client report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Viewers that received every block of their file.
+    pub completed_viewers: u32,
+    /// Viewers stopped early by request.
+    pub stopped_viewers: u32,
+    /// Viewers that never received any data.
+    pub never_started: u32,
+    /// Total blocks received (fully assembled).
+    pub blocks_received: u64,
+    /// Total blocks missing (gaps and lost tails).
+    pub blocks_missing: u64,
+}
+
+/// One client machine, possibly receiving many concurrent streams.
+#[derive(Debug, Default)]
+pub struct Client {
+    viewers: HashMap<ViewerInstance, ViewerProgress>,
+}
+
+impl Client {
+    /// Creates a client with no viewers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new play request starting at `from_block` (0 for the
+    /// beginning; resumes and seeks start mid-file).
+    pub fn on_request(
+        &mut self,
+        instance: ViewerInstance,
+        file: FileId,
+        num_blocks: u32,
+        from_block: u32,
+        requested_at: SimTime,
+        schedule_load: f64,
+    ) {
+        self.viewers.insert(
+            instance,
+            ViewerProgress::new(file, num_blocks, from_block, requested_at, schedule_load),
+        );
+    }
+
+    /// Handles arriving stream data. Returns `true` when this delivery
+    /// completed a whole block (for first-block latency instrumentation the
+    /// caller checks [`ViewerProgress::first_block_at`]).
+    ///
+    /// §5: the test client "makes sure that the expected data arrives on
+    /// time" — data arriving more than [`LATE_GRACE_BLOCKS`] block play
+    /// times after its expected instant is counted late and discarded (a
+    /// renderer would have skipped past it long ago).
+    pub fn on_stream_data(
+        &mut self,
+        instance: ViewerInstance,
+        block: u32,
+        piece: Option<u32>,
+        total_pieces: u32,
+        now: SimTime,
+    ) -> bool {
+        let Some(v) = self.viewers.get_mut(&instance) else {
+            return false; // Data for a stopped/unknown viewer: ignored.
+        };
+        if block >= v.num_blocks {
+            return false;
+        }
+        if block < v.base_block {
+            return false; // Before this play instance's start point.
+        }
+        if let Some(first) = v.first_block_at {
+            // Blocks arrive one per block play time after the first (1 s in
+            // every configuration in this repo), counted from the play
+            // instance's base block.
+            let expected = first + SimDuration::from_secs(u64::from(block - v.base_block));
+            if now.saturating_since(expected) > SimDuration::from_secs(LATE_GRACE_BLOCKS) {
+                v.late_blocks += 1;
+                return false;
+            }
+        }
+        let completed = match piece {
+            None => true,
+            Some(p) => {
+                let entry = v.pieces.entry(block).or_insert((0, total_pieces));
+                entry.0 |= 1 << p;
+                let done = entry.0.count_ones() >= entry.1;
+                if done {
+                    v.pieces.remove(&block);
+                }
+                done
+            }
+        };
+        if completed && !v.received[block as usize] {
+            v.received[block as usize] = true;
+            v.high_water = Some(v.high_water.map_or(block, |h| h.max(block)));
+            if v.first_block_at.is_none() {
+                v.first_block_at = Some(now);
+            }
+        }
+        completed
+    }
+
+    /// Marks a viewer stopped (deschedule issued).
+    pub fn on_stopped(&mut self, instance: ViewerInstance) {
+        if let Some(v) = self.viewers.get_mut(&instance) {
+            v.stopped = true;
+        }
+    }
+
+    /// Progress of one viewer.
+    pub fn viewer(&self, instance: &ViewerInstance) -> Option<&ViewerProgress> {
+        self.viewers.get(instance)
+    }
+
+    /// All viewers on this client.
+    pub fn viewers(&self) -> impl Iterator<Item = (&ViewerInstance, &ViewerProgress)> {
+        self.viewers.iter()
+    }
+
+    /// The aggregate report.
+    pub fn report(&self) -> ClientReport {
+        let mut r = ClientReport::default();
+        for v in self.viewers.values() {
+            r.blocks_received += u64::from(v.blocks_received());
+            r.blocks_missing += u64::from(v.blocks_missing());
+            if v.first_block_at.is_none() {
+                r.never_started += 1;
+            } else if v.stopped {
+                r.stopped_viewers += 1;
+            } else if v.complete() {
+                r.completed_viewers += 1;
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_layout::ViewerId;
+
+    fn inst(v: u64) -> ViewerInstance {
+        ViewerInstance {
+            viewer: ViewerId(v),
+            incarnation: 0,
+        }
+    }
+
+    #[test]
+    fn whole_blocks_accumulate() {
+        let mut c = Client::new();
+        c.on_request(inst(1), FileId(0), 3, 0, SimTime::ZERO, 0.1);
+        for b in 0..3 {
+            assert!(c.on_stream_data(inst(1), b, None, 1, SimTime::from_secs(u64::from(b) + 2)));
+        }
+        let v = c.viewer(&inst(1)).expect("known");
+        assert!(v.complete());
+        assert_eq!(v.blocks_missing(), 0);
+        assert_eq!(v.start_latency_secs(), Some(2.0));
+        assert_eq!(c.report().completed_viewers, 1);
+    }
+
+    #[test]
+    fn mirror_pieces_assemble() {
+        let mut c = Client::new();
+        c.on_request(inst(1), FileId(0), 2, 0, SimTime::ZERO, 0.1);
+        // Block 0 arrives as 4 declustered pieces.
+        assert!(!c.on_stream_data(inst(1), 0, Some(0), 4, SimTime::from_millis(100)));
+        assert!(!c.on_stream_data(inst(1), 0, Some(1), 4, SimTime::from_millis(200)));
+        assert!(!c.on_stream_data(inst(1), 0, Some(3), 4, SimTime::from_millis(300)));
+        // Duplicate piece is idempotent.
+        assert!(!c.on_stream_data(inst(1), 0, Some(1), 4, SimTime::from_millis(350)));
+        assert!(c.on_stream_data(inst(1), 0, Some(2), 4, SimTime::from_millis(400)));
+        let v = c.viewer(&inst(1)).expect("known");
+        assert_eq!(v.blocks_received(), 1);
+    }
+
+    #[test]
+    fn gaps_count_as_missing() {
+        let mut c = Client::new();
+        c.on_request(inst(1), FileId(0), 5, 0, SimTime::ZERO, 0.1);
+        c.on_stream_data(inst(1), 0, None, 1, SimTime::from_secs(1));
+        c.on_stream_data(inst(1), 2, None, 1, SimTime::from_secs(3));
+        let v = c.viewer(&inst(1)).expect("known");
+        // Block 1 is a gap; blocks 3-4 are the (not yet due) tail.
+        assert_eq!(v.blocks_missing(), 1);
+        assert_eq!(v.tail_missing(), 2);
+    }
+
+    #[test]
+    fn stopped_viewer_only_counts_gaps_below_high_water() {
+        let mut c = Client::new();
+        c.on_request(inst(1), FileId(0), 100, 0, SimTime::ZERO, 0.1);
+        c.on_stream_data(inst(1), 0, None, 1, SimTime::from_secs(1));
+        c.on_stream_data(inst(1), 1, None, 1, SimTime::from_secs(2));
+        c.on_stream_data(inst(1), 3, None, 1, SimTime::from_secs(4));
+        c.on_stopped(inst(1));
+        let v = c.viewer(&inst(1)).expect("known");
+        assert_eq!(v.blocks_missing(), 1, "only block 2");
+        assert_eq!(c.report().stopped_viewers, 1);
+    }
+
+    #[test]
+    fn never_started_viewers_are_reported() {
+        let mut c = Client::new();
+        c.on_request(inst(1), FileId(0), 5, 0, SimTime::ZERO, 0.99);
+        assert_eq!(c.report().never_started, 1);
+        assert_eq!(c.report().blocks_missing, 0);
+    }
+
+    #[test]
+    fn data_for_unknown_viewer_ignored() {
+        let mut c = Client::new();
+        assert!(!c.on_stream_data(inst(9), 0, None, 1, SimTime::ZERO));
+    }
+}

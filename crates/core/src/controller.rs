@@ -1,0 +1,226 @@
+//! The Tiger controller (§2.1, §4.1.2–§4.1.3).
+//!
+//! "The Tiger controller serves only as a contact point (i.e., an IP
+//! address) for clients, the system clock master, and a few other low
+//! effort tasks." It routes start requests to the cub holding the first
+//! block (and its successor, for redundancy), routes stop requests to the
+//! cub currently serving the viewer, and does *no* per-block work — which
+//! is what keeps its load flat as the system grows.
+
+use std::collections::HashMap;
+
+use tiger_layout::ids::ViewerInstance;
+use tiger_layout::{CubId, FileId};
+use tiger_sched::{ScheduleParams, SlotId};
+use tiger_sim::{Counter, SimTime};
+
+/// What the controller remembers about one viewer.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewerRecord {
+    /// The file being played.
+    pub file: FileId,
+    /// The client's network node id.
+    pub client: u32,
+    /// The slot the viewer occupies, once a cub commits the insertion.
+    pub slot: Option<SlotId>,
+    /// Send time of the viewer's first block, once committed.
+    pub first_send: Option<SimTime>,
+    /// When the client asked to start.
+    pub requested_at: SimTime,
+}
+
+/// The controller's state.
+#[derive(Debug, Default)]
+pub struct Controller {
+    viewers: HashMap<ViewerInstance, ViewerRecord>,
+    requests: Counter,
+    active_streams: u32,
+}
+
+impl Controller {
+    /// Creates an idle controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a start request; returns false if the instance is already
+    /// known (duplicate request).
+    pub fn on_start_request(
+        &mut self,
+        instance: ViewerInstance,
+        file: FileId,
+        client: u32,
+        requested_at: SimTime,
+    ) -> bool {
+        self.requests.incr();
+        self.viewers
+            .insert(
+                instance,
+                ViewerRecord {
+                    file,
+                    client,
+                    slot: None,
+                    first_send: None,
+                    requested_at,
+                },
+            )
+            .is_none()
+    }
+
+    /// Records a commit notification from the inserting cub.
+    pub fn on_insert_committed(
+        &mut self,
+        instance: ViewerInstance,
+        slot: SlotId,
+        first_send: SimTime,
+    ) {
+        if let Some(rec) = self.viewers.get_mut(&instance) {
+            if rec.slot.is_none() {
+                self.active_streams += 1;
+            }
+            rec.slot = Some(slot);
+            rec.first_send = Some(first_send);
+        }
+    }
+
+    /// Handles a stop request: returns the slot and the cub whose disk next
+    /// services it (plus that cub's successor gets a copy), or `None` for
+    /// an unknown/uncommitted viewer.
+    pub fn on_stop_request(
+        &mut self,
+        instance: ViewerInstance,
+        params: &ScheduleParams,
+        now: SimTime,
+    ) -> Option<(SlotId, CubId)> {
+        self.requests.incr();
+        let rec = self.viewers.remove(&instance)?;
+        let slot = rec.slot?;
+        self.active_streams = self.active_streams.saturating_sub(1);
+        // "The controller determines from which cub the viewer is receiving
+        // data": the disk that will next cross the viewer's slot.
+        let stripe = params.stripe();
+        let mut best: Option<(SimTime, CubId)> = None;
+        for d in 0..stripe.num_disks() {
+            let t = params.slot_send_time(tiger_layout::DiskId(d), slot, now);
+            if best.map_or(true, |(bt, _)| t < bt) {
+                best = Some((t, stripe.cub_of(tiger_layout::DiskId(d))));
+            }
+        }
+        best.map(|(_, cub)| (slot, cub))
+    }
+
+    /// Marks a viewer finished (EOF); frees its record.
+    pub fn on_viewer_finished(&mut self, instance: ViewerInstance) {
+        if self.viewers.remove(&instance).is_some() {
+            self.active_streams = self.active_streams.saturating_sub(1);
+        }
+    }
+
+    /// Streams currently committed into the schedule.
+    pub fn active_streams(&self) -> u32 {
+        self.active_streams
+    }
+
+    /// The record for `instance`, if known.
+    pub fn viewer(&self, instance: &ViewerInstance) -> Option<&ViewerRecord> {
+        self.viewers.get(instance)
+    }
+
+    /// Start/stop requests handled per second over the current window.
+    pub fn request_rate(&self, now: SimTime) -> f64 {
+        self.requests.window_rate(now)
+    }
+
+    /// Starts a fresh measurement window.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.requests.reset_window(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_layout::{StripeConfig, ViewerId};
+    use tiger_sim::{Bandwidth, ByteSize, SimDuration};
+
+    fn params() -> ScheduleParams {
+        ScheduleParams::derive(
+            StripeConfig::new(4, 1, 2),
+            SimDuration::from_secs(1),
+            ByteSize::from_bytes(250_000),
+            SimDuration::from_millis(100),
+            Bandwidth::from_mbit_per_sec(135),
+        )
+    }
+
+    fn inst(v: u64) -> ViewerInstance {
+        ViewerInstance {
+            viewer: ViewerId(v),
+            incarnation: 0,
+        }
+    }
+
+    #[test]
+    fn start_commit_stop_lifecycle() {
+        let p = params();
+        let mut c = Controller::new();
+        assert!(c.on_start_request(inst(1), FileId(0), 5, SimTime::ZERO));
+        assert!(
+            !c.on_start_request(inst(1), FileId(0), 5, SimTime::ZERO),
+            "duplicate"
+        );
+        assert_eq!(c.active_streams(), 0, "not committed yet");
+        c.on_insert_committed(inst(1), SlotId(7), SimTime::from_secs(2));
+        assert_eq!(c.active_streams(), 1);
+        let (slot, cub) = c
+            .on_stop_request(inst(1), &p, SimTime::from_secs(10))
+            .expect("known viewer");
+        assert_eq!(slot, SlotId(7));
+        assert!(cub.raw() < 4);
+        assert_eq!(c.active_streams(), 0);
+        assert!(c
+            .on_stop_request(inst(1), &p, SimTime::from_secs(10))
+            .is_none());
+    }
+
+    #[test]
+    fn stop_routes_to_next_servicing_cub() {
+        let p = params();
+        let mut c = Controller::new();
+        c.on_start_request(inst(1), FileId(0), 5, SimTime::ZERO);
+        c.on_insert_committed(inst(1), SlotId(0), SimTime::from_secs(1));
+        let now = SimTime::from_secs(10);
+        let (slot, cub) = c.on_stop_request(inst(1), &p, now).expect("known");
+        // Verify the chosen cub really is the next to service the slot.
+        let stripe = p.stripe();
+        let mut times: Vec<(SimTime, CubId)> = (0..stripe.num_disks())
+            .map(|d| {
+                let disk = tiger_layout::DiskId(d);
+                (p.slot_send_time(disk, slot, now), stripe.cub_of(disk))
+            })
+            .collect();
+        times.sort();
+        assert_eq!(cub, times[0].1);
+    }
+
+    #[test]
+    fn eof_releases_stream_count() {
+        let mut c = Controller::new();
+        c.on_start_request(inst(2), FileId(1), 5, SimTime::ZERO);
+        c.on_insert_committed(inst(2), SlotId(3), SimTime::from_secs(1));
+        c.on_viewer_finished(inst(2));
+        assert_eq!(c.active_streams(), 0);
+        c.on_viewer_finished(inst(2)); // idempotent
+        assert_eq!(c.active_streams(), 0);
+    }
+
+    #[test]
+    fn request_rate_windows() {
+        let mut c = Controller::new();
+        c.reset_window(SimTime::ZERO);
+        for i in 0..10 {
+            c.on_start_request(inst(i), FileId(0), 1, SimTime::ZERO);
+        }
+        assert!((c.request_rate(SimTime::from_secs(5)) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! The CPU cost model (paper §5).
+//!
+//! "We believe that most of the CPU time was spent packetizing the video
+//! data to be sent to the clients." Cub CPU load is therefore modelled as a
+//! linear function of data bytes sent, disk I/Os issued, and control
+//! messages processed; the controller's load is a function of start/stop
+//! request rate only — which is what makes its curve flat in Figures 8/9.
+//!
+//! The coefficients are calibrated so that a cub sending the failed-mode
+//! full-load 13.4 MB/s (43 primary streams plus mirror pieces) shows ≈85 %
+//! CPU, matching §5: "Even with one cub failed and the system at its rated
+//! maximum load, the cubs didn't exceed 85% mean CPU usage."
+
+/// Linear CPU cost coefficients for a Pentium-133-class machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuModel {
+    /// Fraction of a CPU consumed per data byte sent per second
+    /// (packetization; the dominant term).
+    pub per_send_byte: f64,
+    /// Fraction of a CPU per disk I/O per second.
+    pub per_disk_io: f64,
+    /// Fraction of a CPU per control message sent or received per second.
+    pub per_control_msg: f64,
+    /// Fraction of a CPU per start/stop request handled per second
+    /// (controller-side work).
+    pub per_request: f64,
+    /// Constant background load.
+    pub base: f64,
+}
+
+impl CpuModel {
+    /// The calibrated Pentium-133 model.
+    ///
+    /// At failed-mode full load a mirroring cub sends ≈13.4 MB/s
+    /// (§5), issues ≈54 disk I/Os/s (43 primaries + 10.75 mirror pieces)
+    /// and handles ≈200 control messages/s:
+    /// `13.4e6 × 58e-9 + 54 × 6e-4 + 200 × 1e-4 + 0.02 ≈ 0.85`.
+    pub fn pentium133() -> Self {
+        CpuModel {
+            per_send_byte: 58e-9,
+            per_disk_io: 6e-4,
+            per_control_msg: 1e-4,
+            per_request: 2e-3,
+            base: 0.02,
+        }
+    }
+
+    /// Cub CPU load given observed rates (per second).
+    pub fn cub_load(
+        &self,
+        send_bytes_per_sec: f64,
+        disk_ios_per_sec: f64,
+        control_msgs_per_sec: f64,
+    ) -> f64 {
+        (self.base
+            + self.per_send_byte * send_bytes_per_sec
+            + self.per_disk_io * disk_ios_per_sec
+            + self.per_control_msg * control_msgs_per_sec)
+            .min(1.0)
+    }
+
+    /// Controller CPU load given the start/stop request rate.
+    pub fn controller_load(&self, requests_per_sec: f64, control_msgs_per_sec: f64) -> f64 {
+        (self.base
+            + self.per_request * requests_per_sec
+            + self.per_control_msg * control_msgs_per_sec)
+            .min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failed_mode_full_load_is_about_85_percent() {
+        let m = CpuModel::pentium133();
+        // §5: 43 streams + 10.75 mirror cover = 13.4 MB/s sends; ~54 disk
+        // I/Os/s; a few hundred control messages/s.
+        let load = m.cub_load(13_400_000.0, 54.0, 200.0);
+        assert!((0.80..0.90).contains(&load), "load {load}");
+    }
+
+    #[test]
+    fn unfailed_full_load_is_lower() {
+        let m = CpuModel::pentium133();
+        // 43 streams × 0.25 MB/s = 10.75 MB/s, 43 I/Os/s.
+        let unfailed = m.cub_load(10_750_000.0, 43.0, 150.0);
+        let failed = m.cub_load(13_400_000.0, 54.0, 200.0);
+        assert!(unfailed < failed);
+        assert!(unfailed > 0.5, "still substantial at full load: {unfailed}");
+    }
+
+    #[test]
+    fn load_is_linear_in_streams() {
+        let m = CpuModel::pentium133();
+        let at = |streams: f64| m.cub_load(streams * 250_000.0, streams, streams * 4.0);
+        let l10 = at(10.0) - m.base;
+        let l20 = at(20.0) - m.base;
+        let l40 = at(40.0) - m.base;
+        assert!((l20 / l10 - 2.0).abs() < 1e-9);
+        assert!((l40 / l10 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_load_is_flat_in_streams() {
+        let m = CpuModel::pentium133();
+        // The controller sees only start/stop requests; stream count does
+        // not appear in its load.
+        let low = m.controller_load(1.0, 5.0);
+        let high = m.controller_load(1.0, 5.0);
+        assert_eq!(low, high);
+        assert!(low < 0.05);
+    }
+
+    #[test]
+    fn load_saturates_at_one() {
+        let m = CpuModel::pentium133();
+        assert_eq!(m.cub_load(1e12, 1e6, 1e6), 1.0);
+    }
+}

@@ -1,0 +1,1473 @@
+//! The cub: Tiger's per-machine schedule manager (paper §4.1).
+//!
+//! A cub holds a bounded view of the schedule near its disks, services
+//! entries as its disk pointers cross their slots (read one scheduling
+//! lead early, transmit paced at the stream rate), forwards viewer states
+//! to its successor and second successor, applies and propagates
+//! deschedules, inserts queued start requests into slots it owns, runs the
+//! deadman protocol against its predecessor, and — when a neighbour dies —
+//! manufactures mirror viewer states so the declustered secondary copies
+//! take over.
+
+use tiger_sim::{DetHashMap as HashMap, DetHashSet as HashSet};
+
+use tiger_disk::{DiskError, DiskRequest, RequestKind};
+use tiger_layout::ids::ViewerInstance;
+use tiger_layout::{BlockIndex, BlockNum, CubId, DiskId, DiskSpace, FileId};
+use tiger_sched::view::ViewApply;
+use tiger_sched::{Deschedule, ScheduleView, SlotId, StreamKind, ViewerState};
+use tiger_sim::{Counter, SimDuration, SimTime};
+
+use crate::config::ForwardingPolicy;
+use crate::event::{Event, ServiceToken};
+use crate::msg::Message;
+use crate::system::Shared;
+
+/// A queued start request (§4.1.3).
+#[derive(Clone, Copy, Debug)]
+pub struct PendingStart {
+    /// The viewer instance to start.
+    pub instance: ViewerInstance,
+    /// The client's network node id.
+    pub client: u32,
+    /// The file to play.
+    pub file: FileId,
+    /// First block to play (0 from the beginning; seeks/resumes start
+    /// mid-file).
+    pub from_block: BlockNum,
+    /// When the client asked (latency measurement).
+    pub requested_at: SimTime,
+}
+
+/// Key identifying one active service on this cub.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct ServiceKey {
+    slot: SlotId,
+    instance: ViewerInstance,
+    kind: KindKey,
+    /// Distinguishes successive laps of the same slot: on small rings a
+    /// slot's next-lap record can arrive while the previous block is still
+    /// being transmitted.
+    play_seq: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum KindKey {
+    Primary,
+    Mirror(u32),
+}
+
+fn kind_key(k: StreamKind) -> KindKey {
+    match k {
+        StreamKind::Primary => KindKey::Primary,
+        StreamKind::Mirror { piece, .. } => KindKey::Mirror(piece),
+    }
+}
+
+/// One block (or mirror piece) this cub has committed to send.
+#[derive(Clone, Copy, Debug)]
+struct Active {
+    vs: ViewerState,
+    /// Local index of the disk that holds the bytes.
+    disk_local: u32,
+    send_at: SimTime,
+    /// Paced transmission duration (bpt for primaries, bpt/decluster for
+    /// mirror pieces).
+    send_duration: SimDuration,
+    /// Payload bytes delivered to the client.
+    payload: u64,
+    /// On-disk extent size charged against the buffer cache.
+    read_bytes: u64,
+    read_issued: bool,
+    read_ready: bool,
+    /// A read-ahead buffer is charged to this service.
+    buffer_held: bool,
+    transmitting: bool,
+    /// The block went out (or its transmission is in progress).
+    sent: bool,
+    /// The deadline passed before the read completed; the block was
+    /// dropped but the viewer continues (only this block is lost).
+    missed: bool,
+    forwarded: bool,
+    /// Cancelled by a deschedule or failure; do not send or forward.
+    dropped: bool,
+}
+
+impl Active {
+    fn new(
+        vs: ViewerState,
+        disk_local: u32,
+        send_at: SimTime,
+        send_duration: SimDuration,
+        payload: u64,
+        forwarded: bool,
+    ) -> Self {
+        Active {
+            vs,
+            disk_local,
+            send_at,
+            send_duration,
+            payload,
+            read_bytes: 0,
+            read_issued: false,
+            read_ready: false,
+            buffer_held: false,
+            transmitting: false,
+            sent: false,
+            missed: false,
+            forwarded,
+            dropped: false,
+        }
+    }
+
+    /// Whether the entry's work is finished and it can be reclaimed.
+    fn finished(&self) -> bool {
+        self.forwarded
+            && !self.transmitting
+            && (self.sent || self.missed || self.dropped)
+            && (!self.read_issued || self.read_ready)
+    }
+}
+
+/// A shadow record: schedule information this cub holds for redundancy
+/// (second-successor copies), keyed by slot and instance.
+#[derive(Clone, Copy, Debug)]
+struct Shadow {
+    vs: ViewerState,
+    due: SimTime,
+}
+
+/// The per-machine state of one cub.
+#[derive(Debug)]
+pub struct Cub {
+    /// This cub's id.
+    pub id: CubId,
+    /// Whether this cub has been power-cut.
+    pub failed: bool,
+    disks: Vec<tiger_disk::Disk>,
+    space: Vec<DiskSpace>,
+    index: BlockIndex,
+    view: ScheduleView,
+    active: HashMap<ServiceToken, Active>,
+    by_key: HashMap<ServiceKey, ServiceToken>,
+    next_token: ServiceToken,
+    shadows: HashMap<(SlotId, ViewerInstance), Shadow>,
+    /// Blocks for which this cub (as acting successor) already created
+    /// mirror viewer states, to make creation idempotent.
+    mirrors_created: HashSet<(SlotId, ViewerInstance, u32)>,
+    start_queue: Vec<PendingStart>,
+    redundant_starts: Vec<PendingStart>,
+    attempt_scheduled: bool,
+    /// Which cubs this cub believes have failed.
+    believed_failed: Vec<bool>,
+    /// Last time anything was heard from each cub (deadman input).
+    last_heard: Vec<SimTime>,
+    /// Read-ahead buffer bytes in use (bounded by the buffer cache).
+    buffer_bytes_in_use: u64,
+    /// Recently buffered blocks, newest last (the buffer cache doubles as
+    /// a tiny block cache; §5 measured its hit rate at "less than 0.05%"
+    /// because staggered viewers rarely re-read a block while it is still
+    /// resident).
+    cache_resident: std::collections::VecDeque<(DiskId, FileId, BlockNum)>,
+    /// Block-cache hits (reads satisfied without touching the disk).
+    pub cache_hits: Counter,
+    /// Block-cache lookups.
+    pub cache_lookups: Counter,
+    /// Peak buffer usage in bytes (diagnostics; compare against the 20 MB
+    /// cache of the testbed).
+    pub peak_buffer_bytes: u64,
+    /// When this cub's next periodic forwarding pass is due (maintained by
+    /// the event loop; lets acceptance decide whether a record can wait).
+    pub next_forward_pass: SimTime,
+    /// Recently serviced-and-forwarded primary records, retained for one
+    /// failure-detection window so that, as "the preceding living cub",
+    /// this cub can re-send scheduling information across a gap of
+    /// consecutive failures (§2.3).
+    retired_log: Vec<(SimTime, ViewerState)>,
+    /// Control messages processed (receive side, for the CPU model).
+    msgs_processed: Counter,
+    /// Viewer instances for which an EOF notice was already sent.
+    eof_sent: HashSet<ViewerInstance>,
+}
+
+impl Cub {
+    /// Creates an idle cub with its disks.
+    pub fn new(id: CubId, num_cubs: u32, disks: Vec<tiger_disk::Disk>) -> Self {
+        let space = disks
+            .iter()
+            .map(|d| DiskSpace::half_split(d.profile().capacity))
+            .collect();
+        Cub {
+            id,
+            failed: false,
+            disks,
+            space,
+            index: BlockIndex::new(),
+            view: ScheduleView::new(),
+            active: HashMap::default(),
+            by_key: HashMap::default(),
+            next_token: 0,
+            shadows: HashMap::default(),
+            mirrors_created: HashSet::default(),
+            start_queue: Vec::new(),
+            redundant_starts: Vec::new(),
+            attempt_scheduled: false,
+            believed_failed: vec![false; num_cubs as usize],
+            last_heard: vec![SimTime::ZERO; num_cubs as usize],
+            buffer_bytes_in_use: 0,
+            cache_resident: std::collections::VecDeque::new(),
+            cache_hits: Counter::new(),
+            cache_lookups: Counter::new(),
+            peak_buffer_bytes: 0,
+            next_forward_pass: SimTime::ZERO,
+            retired_log: Vec::new(),
+            msgs_processed: Counter::new(),
+            eof_sent: HashSet::default(),
+        }
+    }
+
+    // --- Content loading -------------------------------------------------
+
+    /// Allocates space and indexes one primary block extent on a local
+    /// disk. Called by the system while laying out a file.
+    pub fn load_primary(
+        &mut self,
+        disk: DiskId,
+        local: u32,
+        file: FileId,
+        block: BlockNum,
+        size: tiger_sim::ByteSize,
+    ) {
+        let (offset, len) = self.space[local as usize]
+            .allocate(tiger_layout::DiskRegion::Primary, size)
+            .expect("primary region full while loading content");
+        let entry = tiger_layout::IndexEntry::pack(offset, len).expect("extent packs");
+        self.index
+            .insert_primary(disk, file, block, entry)
+            .expect("no duplicate blocks while loading");
+    }
+
+    /// Allocates and indexes one mirror-piece extent on a local disk.
+    pub fn load_secondary(
+        &mut self,
+        disk: DiskId,
+        local: u32,
+        file: FileId,
+        block: BlockNum,
+        piece: u32,
+        size: tiger_sim::ByteSize,
+    ) {
+        let (offset, len) = self.space[local as usize]
+            .allocate(tiger_layout::DiskRegion::Secondary, size)
+            .expect("secondary region full while loading content");
+        let entry = tiger_layout::IndexEntry::pack(offset, len).expect("extent packs");
+        self.index
+            .insert_secondary(disk, file, block, piece, entry)
+            .expect("no duplicate pieces while loading");
+    }
+
+    // --- Introspection ---------------------------------------------------
+
+    /// The cub's bounded schedule view.
+    pub fn view(&self) -> &ScheduleView {
+        &self.view
+    }
+
+    /// Local disks (for load reporting).
+    pub fn disks(&self) -> &[tiger_disk::Disk] {
+        &self.disks
+    }
+
+    /// Mutable local disks (window resets).
+    pub fn disks_mut(&mut self) -> &mut [tiger_disk::Disk] {
+        &mut self.disks
+    }
+
+    /// Queued (not yet inserted) start requests.
+    pub fn queued_starts(&self) -> usize {
+        self.start_queue.len()
+    }
+
+    /// Total schedule information currently held: live view entries,
+    /// shadow (redundancy) records, active services, and the retired log.
+    /// §4: "A necessary but insufficient condition for scalability is that
+    /// participants' views be limited to a size that does not grow as a
+    /// function of the scale of the system" — the boundedness test samples
+    /// this.
+    pub fn schedule_information_held(&self) -> usize {
+        self.view.len() + self.shadows.len() + self.active.len() + self.retired_log.len()
+    }
+
+    /// Control messages processed per second over the current window.
+    pub fn msgs_processed_rate(&self, now: SimTime) -> f64 {
+        self.msgs_processed.window_rate(now)
+    }
+
+    /// Starts a fresh measurement window.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.msgs_processed.reset_window(now);
+        for d in &mut self.disks {
+            d.reset_window(now);
+        }
+    }
+
+    /// Whether this cub currently believes `cub` is failed.
+    pub fn believes_failed(&self, cub: CubId) -> bool {
+        self.believed_failed[cub.index()]
+    }
+
+    // --- Ring helpers ----------------------------------------------------
+
+    fn next_living(&self, from: CubId) -> Option<CubId> {
+        let n = self.believed_failed.len() as u32;
+        (1..n)
+            .map(|i| CubId((from.raw() + i) % n))
+            .find(|c| !self.believed_failed[c.index()])
+    }
+
+    fn prev_living(&self, from: CubId) -> Option<CubId> {
+        let n = self.believed_failed.len() as u32;
+        (1..n)
+            .map(|i| CubId((from.raw() + n - i) % n))
+            .find(|c| !self.believed_failed[c.index()])
+    }
+
+    /// Whether this cub is the acting successor for `failed` (the first
+    /// living cub after it).
+    fn acting_successor_of(&self, failed: CubId) -> bool {
+        self.next_living(failed) == Some(self.id)
+    }
+
+    // --- Message entry point ----------------------------------------------
+
+    /// Handles a delivered control message.
+    pub fn on_message(&mut self, sh: &mut Shared, now: SimTime, msg: Message) {
+        if self.failed {
+            return;
+        }
+        self.msgs_processed.incr();
+        match msg {
+            Message::ViewerStates(batch) => {
+                for vs in batch {
+                    self.on_viewer_state(sh, now, vs);
+                }
+            }
+            Message::Deschedule { request, hops_left } => {
+                self.on_deschedule(sh, now, request, hops_left);
+            }
+            Message::RoutedStart {
+                client,
+                instance,
+                file,
+                from_block,
+                requested_at,
+                redundant,
+            } => {
+                self.on_routed_start(
+                    sh,
+                    now,
+                    PendingStart {
+                        instance,
+                        client,
+                        file,
+                        from_block: BlockNum(from_block),
+                        requested_at,
+                    },
+                    redundant,
+                );
+            }
+            Message::DeadmanPing { from } => {
+                self.last_heard[from.index()] = now;
+            }
+            Message::FailureNotice { failed } => {
+                self.on_failure_notice(sh, now, failed);
+            }
+            _ => {
+                debug_assert!(false, "cub received unexpected message: {msg:?}");
+            }
+        }
+    }
+
+    // --- Viewer-state handling (§4.1.1) -----------------------------------
+
+    fn on_viewer_state(&mut self, sh: &mut Shared, now: SimTime, vs: ViewerState) {
+        // Any sighting of a viewer state supersedes a redundant start we
+        // might be holding for the same instance.
+        self.redundant_starts.retain(|p| p.instance != vs.instance);
+
+        match vs.kind {
+            StreamKind::Primary => self.on_primary_state(sh, now, vs),
+            StreamKind::Mirror { failed_disk, piece } => {
+                self.on_mirror_state(sh, now, vs, failed_disk, piece);
+            }
+        }
+    }
+
+    fn on_primary_state(&mut self, sh: &mut Shared, now: SimTime, vs: ViewerState) {
+        let Some(meta) = sh.catalog.get(vs.file).copied() else {
+            return;
+        };
+        if vs.position.raw() >= meta.num_blocks {
+            // End of file: the viewer leaves the schedule (§4.1.2).
+            if self.eof_sent.insert(vs.instance) {
+                sh.send_to_controllers(
+                    now,
+                    sh.cub_node(self.id),
+                    Message::ViewerFinished {
+                        instance: vs.instance,
+                    },
+                );
+            }
+            return;
+        }
+        let loc = sh
+            .catalog
+            .locate(vs.file, vs.position)
+            .expect("position checked in range");
+
+        if loc.cub == self.id {
+            self.accept_service(sh, now, vs, loc.disk);
+        } else if self.believed_failed[loc.cub.index()] && self.acting_successor_of(loc.cub) {
+            self.cover_failed_disk(sh, now, vs, loc.disk);
+        } else {
+            // Redundancy copy: shadow it until it is superseded or stale.
+            let due = sh.params.slot_send_time(loc.disk, vs.slot, now);
+            let entry = self
+                .shadows
+                .entry((vs.slot, vs.instance))
+                .or_insert(Shadow { vs, due });
+            if vs.play_seq >= entry.vs.play_seq {
+                *entry = Shadow { vs, due };
+            }
+        }
+    }
+
+    /// Begins normal service of `vs` on local disk `disk`.
+    fn accept_service(&mut self, sh: &mut Shared, now: SimTime, vs: ViewerState, disk: DiskId) {
+        match self.view.apply_viewer_state(vs, now) {
+            ViewApply::Inserted | ViewApply::Updated => {}
+            ViewApply::Duplicate | ViewApply::Blocked => return,
+            ViewApply::Conflict => {
+                sh.metrics.violations.push(format!(
+                    "{}: conflicting viewer state for {} in {}",
+                    self.id, vs.instance, vs.slot
+                ));
+                return;
+            }
+        }
+        let key = ServiceKey {
+            slot: vs.slot,
+            instance: vs.instance,
+            kind: KindKey::Primary,
+            play_seq: vs.play_seq,
+        };
+        if self.by_key.contains_key(&key) {
+            return; // Already servicing this entry (double-forward duplicate).
+        }
+        let send_at = sh.params.slot_send_time(disk, vs.slot, now);
+        // A record can only legitimately be up to maxVStateLead early plus
+        // one block play time per bridged failure (the cover chain advances
+        // past each dead disk instantly); a send time further out means
+        // the record arrived *after* its due time and wrapped to the next
+        // schedule lap. §4.1.2 prescribes discarding such late arrivals
+        // (the viewer is "spontaneously descheduled" in the worst case).
+        // On rings too short to tell the two cases apart, skip the guard.
+        let max_legit_lead = sh.cfg.max_vstate_lead
+            + sh.params
+                .block_play_time()
+                .mul_u64(u64::from(sh.params.stripe().decluster) + 1);
+        if max_legit_lead < sh.params.schedule_len()
+            && send_at.saturating_since(now) > max_legit_lead
+        {
+            self.view.retire(vs.slot, &vs);
+            sh.metrics.loss.failover_lost += 1;
+            return;
+        }
+        let meta = sh.catalog.get(vs.file).copied().expect("file known");
+        let token = self.alloc_token();
+        self.active.insert(
+            token,
+            Active::new(
+                vs,
+                sh.params.stripe().local_index_of(disk),
+                send_at,
+                sh.params.block_play_time(),
+                meta.payload_size.as_bytes(),
+                false,
+            ),
+        );
+        self.by_key.insert(key, token);
+        // §3.1: "the disks run at least one block service time ahead of the
+        // schedule. Usually, they run a little earlier, trading off buffer
+        // usage to cover for slight variations in disk … performance."
+        // Steady-state records arrive minVStateLead+ early, so their reads
+        // go out two scheduling leads ahead; a freshly inserted viewer's
+        // first read is issued immediately (it has only the scheduling
+        // lead).
+        let read_at = send_at
+            .saturating_sub(sh.cfg.scheduling_lead.mul_u64(2))
+            .max(now);
+        sh.queue.schedule(
+            read_at,
+            Event::ReadIssue {
+                cub: self.id,
+                token,
+            },
+        );
+        sh.queue.schedule(
+            send_at,
+            Event::SendDue {
+                cub: self.id,
+                token,
+            },
+        );
+        sh.metrics.loss.blocks_scheduled += 1;
+        // If waiting for the next periodic pass would let the successor's
+        // lead fall below minVStateLead ("Cubs endeavor to keep the
+        // schedule updated at least minVStateLead into the future"),
+        // forward promptly instead of batching. This is what keeps freshly
+        // inserted streams alive while their lead pipeline builds up.
+        let successor_breach =
+            (send_at + sh.params.block_play_time()).saturating_sub(sh.cfg.min_vstate_lead);
+        if successor_breach < self.next_forward_pass {
+            sh.queue.schedule(
+                now + SimDuration::from_millis(1),
+                Event::ForwardPass { cub: self.id },
+            );
+        }
+    }
+
+    /// Acting-successor work for a viewer state addressed to a failed disk:
+    /// create mirror viewer states for its declustered pieces, and keep the
+    /// record propagating (§4.1.1, Figure 5).
+    fn cover_failed_disk(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        vs: ViewerState,
+        failed_disk: DiskId,
+    ) {
+        let created_key = (vs.slot, vs.instance, vs.position.raw());
+        if self.mirrors_created.insert(created_key) {
+            sh.metrics.loss.blocks_scheduled += 1;
+            // "When the succeeding cub makes this decision, it creates a
+            // special kind of viewer state called a mirror viewer state"
+            // (§4.1.1). Mirror viewer states then propagate along the ring
+            // of piece-holding cubs "much like normal ones": each holder
+            // serves its piece and forwards the record for the next piece.
+            let mut mvs = vs;
+            mvs.kind = StreamKind::Mirror {
+                failed_disk,
+                piece: 0,
+            };
+            self.on_mirror_state(sh, now, mvs, failed_disk, 0);
+        }
+        // Continue normal propagation past the failed machine: the next
+        // block is due on the disk after the failed one, which may be ours
+        // or (with consecutive failures) dead as well — recurse.
+        self.on_primary_state(sh, now, vs.advanced(1));
+    }
+
+    /// Accepts mirror service for the declustered piece this cub holds,
+    /// then forwards the record toward the next piece's holder.
+    ///
+    /// The embedded `piece` is the *next expected* piece; the receiving cub
+    /// re-derives which piece it actually holds from ring geometry (with
+    /// consecutive failures the expected holder may be dead, in which case
+    /// the skipped pieces are unrecoverable, §2.3).
+    fn on_mirror_state(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        mut vs: ViewerState,
+        failed_disk: DiskId,
+        expected_piece: u32,
+    ) {
+        let stripe = sh.params.stripe();
+        // Which piece of this failed disk lives on one of our disks?
+        // Consecutive disks are on consecutive cubs, so at most one does.
+        let Some(piece) = (0..stripe.decluster)
+            .find(|&i| stripe.cub_of(stripe.disk_after(failed_disk, i + 1)) == self.id)
+        else {
+            return; // No piece of this block here (over-forwarded copy).
+        };
+        if piece < expected_piece {
+            return; // A double-forwarded duplicate for a piece already done.
+        }
+        // Pieces between the expected one and ours whose holders are dead
+        // are unrecoverable (double-forwarded copies also skip ahead, but
+        // those skipped holders are alive and serve from their own copies —
+        // only dead holders count as losses).
+        for j in expected_piece..piece {
+            let holder_cub = stripe.cub_of(stripe.disk_after(failed_disk, j + 1));
+            if self.believed_failed[holder_cub.index()] {
+                sh.metrics.loss.failover_lost += 1;
+            }
+        }
+        let holder = stripe.disk_after(failed_disk, piece + 1);
+        vs.kind = StreamKind::Mirror { failed_disk, piece };
+        match self.view.apply_viewer_state(vs, now) {
+            ViewApply::Inserted | ViewApply::Updated => {}
+            _ => return,
+        }
+        let key = ServiceKey {
+            slot: vs.slot,
+            instance: vs.instance,
+            kind: KindKey::Mirror(piece),
+            play_seq: vs.play_seq,
+        };
+        if self.by_key.contains_key(&key) {
+            return;
+        }
+        // Piece i goes out i/decluster of a block play time after the
+        // block's nominal send time (§4.1.1 mirror timing).
+        let block_due = sh.params.slot_send_time(failed_disk, vs.slot, now);
+        // Same staleness rule as primary acceptance: a "next" due time more
+        // than the maximum legitimate lead away means the block's real due
+        // time already passed (it wrapped to the next lap) — the block is
+        // lost, not a minute late.
+        let max_legit_lead = sh.cfg.max_vstate_lead
+            + sh.params
+                .block_play_time()
+                .mul_u64(u64::from(stripe.decluster) + 1);
+        if max_legit_lead < sh.params.schedule_len()
+            && block_due.saturating_since(now) > max_legit_lead
+        {
+            sh.metrics.loss.failover_lost += 1;
+            self.view.retire(vs.slot, &vs);
+            return;
+        }
+        let piece_gap = sh
+            .params
+            .block_play_time()
+            .div_u64(u64::from(stripe.decluster));
+        let send_at = block_due + piece_gap.mul_u64(u64::from(piece));
+        if send_at <= now + SimDuration::from_millis(5) {
+            // Too late to read and send this piece.
+            sh.metrics.loss.failover_lost += 1;
+            self.view.retire(vs.slot, &vs);
+            return;
+        }
+        let meta = sh.catalog.get(vs.file).copied().expect("file known");
+        let piece_payload = meta.payload_size.div_u64_ceil(u64::from(stripe.decluster));
+        let token = self.alloc_token();
+        self.active.insert(
+            token,
+            Active::new(
+                vs,
+                stripe.local_index_of(holder),
+                send_at,
+                piece_gap,
+                piece_payload.as_bytes(),
+                true, // Mirror records forward immediately (below), not in the periodic pass.
+            ),
+        );
+        self.by_key.insert(key, token);
+        // Mirror reads land on disks already running near saturation; issue
+        // them extra-early ("the cubs take these timing differences into
+        // consideration", §4.1.1) to ride out queueing convoys.
+        let read_at = send_at
+            .saturating_sub(sh.cfg.scheduling_lead.mul_u64(3))
+            .max(now);
+        sh.queue.schedule(
+            read_at,
+            Event::ReadIssue {
+                cub: self.id,
+                token,
+            },
+        );
+        sh.queue.schedule(
+            send_at,
+            Event::SendDue {
+                cub: self.id,
+                token,
+            },
+        );
+
+        // Forward the mirror record toward the next piece's holder, doubly
+        // (mirror viewer states propagate "much like normal ones").
+        if piece + 1 < stripe.decluster {
+            let mut next = vs;
+            next.kind = StreamKind::Mirror {
+                failed_disk,
+                piece: piece + 1,
+            };
+            let me = sh.cub_node(self.id);
+            if let Some(succ) = self.next_living(self.id) {
+                sh.send_control(
+                    now,
+                    me,
+                    sh.cub_node(succ),
+                    Message::ViewerStates(vec![next]),
+                );
+                if sh.cfg.forwarding == ForwardingPolicy::Double {
+                    if let Some(second) = self.next_living(succ) {
+                        if second != self.id {
+                            sh.send_control(
+                                now,
+                                me,
+                                sh.cub_node(second),
+                                Message::ViewerStates(vec![next]),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Disk service ------------------------------------------------------
+
+    /// Issues the disk read for `token` (one scheduling lead early).
+    ///
+    /// Reads are issued as early as the buffer cache allows ("trading off
+    /// buffer usage to cover for slight variations in disk and I/O system
+    /// performance", §3.1): when the 20 MB cache is full, the read is
+    /// retried shortly, down to a hard floor of one scheduling lead before
+    /// the send.
+    pub fn on_read_issue(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
+        if self.failed {
+            return;
+        }
+        let Some(entry) = self.active.get_mut(&token) else {
+            return; // Descheduled before the read was due.
+        };
+        if entry.dropped || entry.read_issued {
+            return;
+        }
+        let must_issue_by = entry.send_at.saturating_sub(sh.cfg.scheduling_lead);
+        if now < must_issue_by
+            && self.buffer_bytes_in_use + u64::from(sh.cfg.block_size().as_bytes() as u32)
+                > sh.cfg.buffer_cache.as_bytes()
+        {
+            // Cache full: retry soon, no later than the hard floor.
+            let retry = (now + SimDuration::from_millis(50)).min(must_issue_by);
+            sh.queue.schedule(
+                retry,
+                Event::ReadIssue {
+                    cub: self.id,
+                    token,
+                },
+            );
+            return;
+        }
+        let stripe = sh.params.stripe();
+        let local = entry.disk_local;
+        let disk_id = stripe.disk_of(self.id, local);
+        if entry.vs.kind == StreamKind::Primary {
+            // Buffer-cache check (§5 measured <0.05% hits: staggered
+            // viewers rarely re-read a block while it is still resident).
+            self.cache_lookups.incr();
+            let key = (disk_id, entry.vs.file, entry.vs.position);
+            if self.cache_resident.contains(&key) {
+                self.cache_hits.incr();
+                entry.read_ready = true;
+                return;
+            }
+        }
+        let lookup = match entry.vs.kind {
+            StreamKind::Primary => {
+                self.index
+                    .lookup_primary(disk_id, entry.vs.file, entry.vs.position)
+            }
+            StreamKind::Mirror { piece, .. } => {
+                self.index
+                    .lookup_secondary(disk_id, entry.vs.file, entry.vs.position, piece)
+            }
+        };
+        let Some(extent) = lookup else {
+            // Content not on this disk (stale record after a restripe).
+            // The block is lost but the viewer continues.
+            entry.missed = true;
+            sh.metrics.loss.failover_lost += 1;
+            return;
+        };
+        let req = DiskRequest {
+            offset: extent.offset(),
+            len: extent.length(),
+            kind: match entry.vs.kind {
+                StreamKind::Primary => RequestKind::Primary,
+                StreamKind::Mirror { .. } => RequestKind::Mirror,
+            },
+        };
+        match self.disks[local as usize].submit(now, req) {
+            Ok(done) => {
+                entry.read_issued = true;
+                entry.buffer_held = true;
+                entry.read_bytes = req.len.as_bytes();
+                self.buffer_bytes_in_use += entry.read_bytes;
+                self.peak_buffer_bytes = self.peak_buffer_bytes.max(self.buffer_bytes_in_use);
+                if entry.vs.kind == StreamKind::Primary {
+                    let key = (disk_id, entry.vs.file, entry.vs.position);
+                    self.cache_resident.push_back(key);
+                    let max_resident = (sh.cfg.buffer_cache.as_bytes()
+                        / sh.cfg.block_size().as_bytes().max(1))
+                        as usize;
+                    while self.cache_resident.len() > max_resident {
+                        self.cache_resident.pop_front();
+                    }
+                }
+                sh.queue.schedule(
+                    done,
+                    Event::DiskDone {
+                        cub: self.id,
+                        token,
+                    },
+                );
+            }
+            Err(DiskError::Failed) => {
+                entry.missed = true;
+                sh.metrics.loss.failover_lost += 1;
+            }
+            Err(DiskError::OutOfRange) => {
+                unreachable!("index produced an out-of-range extent");
+            }
+        }
+    }
+
+    /// Handles a disk-read completion.
+    pub fn on_disk_done(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
+        if self.failed {
+            return;
+        }
+        let Some(entry) = self.active.get_mut(&token) else {
+            // Unreachable in a correct run: entries with outstanding reads
+            // are never force-removed (see the deschedule path).
+            debug_assert!(false, "disk completion for a vanished service");
+            return;
+        };
+        entry.read_ready = true;
+        let disk_local = entry.disk_local;
+        // The buffer pool recycles aggressively (§2.2's zero-copy path
+        // keeps no long-lived cache), so a block is shareable only while
+        // its read is in flight — I/O coalescing, which is what keeps the
+        // §5 buffer-cache hit rate "less than 0.05%".
+        if entry.vs.kind == StreamKind::Primary {
+            let disk_id = sh.params.stripe().disk_of(self.id, disk_local);
+            let key = (disk_id, entry.vs.file, entry.vs.position);
+            if let Some(pos) = self.cache_resident.iter().position(|k| *k == key) {
+                self.cache_resident.remove(pos);
+            }
+        }
+        self.disks[disk_local as usize].complete(now);
+        if self.active.get(&token).is_some_and(Active::finished) {
+            self.reclaim(now, token);
+        }
+    }
+
+    /// The block (or piece) for `token` is due at the network.
+    pub fn on_send_due(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
+        if self.failed {
+            return;
+        }
+        let Some(entry) = self.active.get_mut(&token) else {
+            return; // Descheduled.
+        };
+        if entry.dropped {
+            return;
+        }
+        if entry.missed {
+            // The read path already declared this block lost.
+            if entry.finished() {
+                self.reclaim(now, token);
+            }
+            return;
+        }
+        if !entry.read_ready {
+            // "the server failed to place 15 blocks on the network, each
+            // because the disk read hadn't completed in time" — the block
+            // is dropped, not sent late, and the viewer continues with its
+            // subsequent blocks (the entry still gets forwarded).
+            sh.metrics.loss.server_missed += 1;
+            if entry.vs.kind != StreamKind::Primary {
+                sh.metrics.loss.mirror_missed += 1;
+            }
+            entry.missed = true;
+            if entry.finished() {
+                self.reclaim(now, token);
+            }
+            return;
+        }
+        let rate = entry.vs.bitrate;
+        let node = sh.cub_node(self.id);
+        let ok = sh.net.begin_stream(now, node, rate);
+        if !ok {
+            // NIC overcommitted — the schedule should prevent this; report
+            // it as a violation but keep sending (degraded).
+            sh.metrics
+                .violations
+                .push(format!("{}: NIC overcommit at {now}", self.id));
+        }
+        entry.transmitting = true;
+        entry.sent = true;
+        if entry.vs.kind == StreamKind::Primary {
+            if let Some(omni) = sh.omniscient.as_mut() {
+                omni.on_send(&entry.vs, now);
+            }
+        }
+        let done_at = now + entry.send_duration;
+        sh.queue.schedule(
+            done_at,
+            Event::SendDone {
+                cub: self.id,
+                token,
+            },
+        );
+    }
+
+    /// A paced transmission finished: free the NIC, deliver to the client.
+    pub fn on_send_done(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
+        if self.failed {
+            return;
+        }
+        let Some(entry) = self.active.get(&token).copied() else {
+            return;
+        };
+        let node = sh.cub_node(self.id);
+        sh.net
+            .end_stream(now, node, entry.vs.bitrate, entry.payload);
+        sh.metrics.loss.blocks_sent += 1;
+        // Deliver to the client (receive time = last byte arrival, §5).
+        let client = tiger_net::NetNode(entry.vs.client);
+        if let Some(at) = sh.net.send_data(now, node, client) {
+            let (piece, total) = match entry.vs.kind {
+                StreamKind::Primary => (None, 1),
+                StreamKind::Mirror { piece, .. } => (Some(piece), sh.params.stripe().decluster),
+            };
+            sh.queue.schedule(
+                at,
+                Event::Deliver {
+                    dst: client,
+                    msg: Message::StreamData {
+                        instance: entry.vs.instance,
+                        block: entry.vs.position.raw(),
+                        piece,
+                        total_pieces: total,
+                        bytes: entry.payload,
+                    },
+                },
+            );
+        }
+        self.view.retire(entry.vs.slot, &entry.vs);
+        if let Some(e) = self.active.get_mut(&token) {
+            e.transmitting = false;
+        }
+        if self.active.get(&token).is_some_and(Active::finished) {
+            self.reclaim(now, token);
+        }
+        // Otherwise forwarding has not happened yet (fresh inserts with
+        // very short leads); the next forward pass reclaims the entry.
+    }
+
+    /// Removes a finished or cancelled service, returning its buffer.
+    /// Serviced primary records are retained in the retired log for one
+    /// failure-detection window (gap bridging, §2.3).
+    fn reclaim(&mut self, now: SimTime, token: ServiceToken) {
+        if let Some(e) = self.active.remove(&token) {
+            if e.buffer_held {
+                self.buffer_bytes_in_use = self.buffer_bytes_in_use.saturating_sub(e.read_bytes);
+            }
+            let key = ServiceKey {
+                slot: e.vs.slot,
+                instance: e.vs.instance,
+                kind: kind_key(e.vs.kind),
+                play_seq: e.vs.play_seq,
+            };
+            self.by_key.remove(&key);
+            if !e.dropped && e.vs.kind == StreamKind::Primary {
+                self.retired_log.push((now, e.vs));
+            }
+        }
+    }
+
+    fn alloc_token(&mut self) -> ServiceToken {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    // --- Forwarding (§4.1.1) ------------------------------------------------
+
+    /// Periodic batching pass: forward viewer states whose receiver lead
+    /// has dropped to `maxVStateLead`, to the successor and (policy
+    /// permitting) the second successor.
+    pub fn on_forward_pass(&mut self, sh: &mut Shared, now: SimTime) {
+        if self.failed {
+            return;
+        }
+        let mut batch: Vec<ViewerState> = Vec::new();
+        let mut finished: Vec<ViewerInstance> = Vec::new();
+        for entry in self.active.values_mut() {
+            if entry.forwarded || entry.dropped || entry.vs.kind != StreamKind::Primary {
+                continue;
+            }
+            let due_next = entry.send_at + sh.params.block_play_time();
+            if now < due_next.saturating_sub(sh.cfg.max_vstate_lead) {
+                continue;
+            }
+            entry.forwarded = true;
+            let advanced = entry.vs.advanced(1);
+            let meta = sh.catalog.get(advanced.file).copied();
+            let at_eof = meta.is_none_or(|m| advanced.position.raw() >= m.num_blocks);
+            if at_eof {
+                finished.push(advanced.instance);
+            } else {
+                batch.push(advanced);
+            }
+        }
+        let done: Vec<ServiceToken> = self
+            .active
+            .iter()
+            .filter(|(_, e)| e.finished())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in done {
+            self.reclaim(now, token);
+        }
+        for instance in finished {
+            if self.eof_sent.insert(instance) {
+                sh.send_to_controllers(
+                    now,
+                    sh.cub_node(self.id),
+                    Message::ViewerFinished { instance },
+                );
+            }
+        }
+        if !batch.is_empty() {
+            let me = sh.cub_node(self.id);
+            if let Some(succ) = self.next_living(self.id) {
+                sh.send_control(
+                    now,
+                    me,
+                    sh.cub_node(succ),
+                    Message::ViewerStates(batch.clone()),
+                );
+                if sh.cfg.forwarding == ForwardingPolicy::Double {
+                    if let Some(second) = self.next_living(succ) {
+                        if second != self.id {
+                            sh.send_control(
+                                now,
+                                me,
+                                sh.cub_node(second),
+                                Message::ViewerStates(batch),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Shadow GC: drop records whose due time is well past.
+        let horizon = now.saturating_sub(sh.cfg.deschedule_hold);
+        self.shadows.retain(|_, s| s.due >= horizon);
+        // Retired-log GC: keep one failure-detection window.
+        let retire_horizon = now.saturating_sub(
+            sh.cfg.deadman_timeout + sh.cfg.deadman_interval.mul_u64(2) + sh.cfg.deschedule_hold,
+        );
+        self.retired_log.retain(|&(at, _)| at >= retire_horizon);
+        // Mirror-creation memory GC is keyed the same way; bound its size.
+        if self.mirrors_created.len() > 100_000 {
+            self.mirrors_created.clear();
+        }
+        self.view.gc(now);
+    }
+
+    // --- Deschedules (§4.1.2) ------------------------------------------------
+
+    fn on_deschedule(&mut self, sh: &mut Shared, now: SimTime, d: Deschedule, hops_left: u32) {
+        let first_sighting = !self.view.holds_deschedule(&d);
+        let hold_until = now + sh.cfg.deschedule_hold + sh.cfg.max_vstate_lead;
+        self.view.apply_deschedule(d, now, hold_until);
+        // Kill matching active services that have not yet gone out.
+        let tokens: Vec<ServiceToken> = self
+            .active
+            .iter()
+            .filter(|(_, e)| d.matches(&e.vs))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in tokens {
+            let entry = self.active.get_mut(&token).expect("token just listed");
+            if entry.sent {
+                continue; // Already went out; harmless.
+            }
+            entry.dropped = true;
+            entry.forwarded = true; // Never forward a descheduled entry.
+            if entry.finished() {
+                self.reclaim(now, token);
+            }
+            // Otherwise an outstanding read completes first; DiskDone
+            // reclaims it then.
+        }
+        // Drop matching shadows and queued starts.
+        self.shadows.retain(|_, s| !d.matches(&s.vs));
+        self.start_queue.retain(|p| p.instance != d.instance);
+        self.redundant_starts.retain(|p| p.instance != d.instance);
+        // Forward on first sighting, immediately (§4.1.2: deschedules are
+        // not batched; they must outrun viewer states).
+        if first_sighting && hops_left > 0 {
+            let me = sh.cub_node(self.id);
+            let msg = Message::Deschedule {
+                request: d,
+                hops_left: hops_left - 1,
+            };
+            if let Some(succ) = self.next_living(self.id) {
+                sh.send_control(now, me, sh.cub_node(succ), msg.clone());
+                if let Some(second) = self.next_living(succ) {
+                    if second != self.id {
+                        sh.send_control(now, me, sh.cub_node(second), msg);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Insertion (§4.1.3) -----------------------------------------------
+
+    fn on_routed_start(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        pending: PendingStart,
+        redundant: bool,
+    ) {
+        if redundant {
+            if !self
+                .redundant_starts
+                .iter()
+                .any(|p| p.instance == pending.instance)
+            {
+                self.redundant_starts.push(pending);
+            }
+            return;
+        }
+        if !self
+            .start_queue
+            .iter()
+            .any(|p| p.instance == pending.instance)
+        {
+            self.start_queue.push(pending);
+        }
+        self.schedule_insert_attempt(sh, now + SimDuration::from_nanos(1));
+    }
+
+    fn schedule_insert_attempt(&mut self, sh: &mut Shared, at: SimTime) {
+        if !self.attempt_scheduled {
+            self.attempt_scheduled = true;
+            sh.queue.schedule(
+                at.max(sh.queue.now()),
+                Event::InsertAttempt { cub: self.id },
+            );
+        }
+    }
+
+    /// The disk that should source the first requested block — and the
+    /// pointer whose ownership windows gate the insertion.
+    fn start_disk(&self, sh: &Shared, pending: &PendingStart) -> Option<DiskId> {
+        sh.catalog
+            .locate(pending.file, pending.from_block)
+            .map(|loc| loc.disk)
+    }
+
+    /// Attempts to insert queued starts into currently-owned empty slots.
+    pub fn on_insert_attempt(&mut self, sh: &mut Shared, now: SimTime) {
+        self.attempt_scheduled = false;
+        if self.failed {
+            return;
+        }
+        let mut remaining: Vec<PendingStart> = Vec::new();
+        let queue = std::mem::take(&mut self.start_queue);
+        for pending in queue {
+            let Some(d0) = self.start_disk(sh, &pending) else {
+                continue; // Unknown file or out-of-range block: drop it.
+            };
+            // We may insert via d0's pointer if d0 is ours, or if we are
+            // the acting successor of d0's dead cub.
+            let d0_cub = sh.params.stripe().cub_of(d0);
+            let responsible = d0_cub == self.id
+                || (self.believed_failed[d0_cub.index()] && self.acting_successor_of(d0_cub));
+            if !responsible {
+                continue; // Another cub will run this insertion.
+            }
+            let owned = sh.params.owned_slot_range(d0, now);
+            let slot = owned.into_iter().find(|&s| self.view.believes_slot_free(s));
+            match slot {
+                Some(slot) => self.commit_insert(sh, now, pending, d0, slot),
+                None => remaining.push(pending),
+            }
+        }
+        self.start_queue = remaining;
+        if !self.start_queue.is_empty() {
+            // Retry when the next ownership window opens for the head's
+            // start disk.
+            let head = self.start_queue[0];
+            if let Some(d0) = self.start_disk(sh, &head) {
+                let dt = sh.params.time_to_next_ownership(d0, now) + SimDuration::from_nanos(1);
+                self.attempt_scheduled = true;
+                sh.queue
+                    .schedule(now + dt, Event::InsertAttempt { cub: self.id });
+            }
+        }
+    }
+
+    fn commit_insert(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        pending: PendingStart,
+        d0: DiskId,
+        slot: SlotId,
+    ) {
+        let meta = sh.catalog.get(pending.file).copied().expect("file known");
+        let vs = ViewerState {
+            instance: pending.instance,
+            client: pending.client,
+            file: pending.file,
+            position: pending.from_block,
+            slot,
+            play_seq: 0,
+            bitrate: meta.bitrate,
+            kind: StreamKind::Primary,
+        };
+        if let Some(omni) = sh.omniscient.as_mut() {
+            omni.on_insert(vs, now);
+        }
+        if d0_is_local(sh, self.id, d0) {
+            self.accept_service(sh, now, vs, d0);
+        } else {
+            // Acting-successor insertion for a dead start disk: service via
+            // mirrors straight away.
+            self.cover_failed_disk(sh, now, vs, d0);
+        }
+        // Commit: tell the controller (the insertion "becomes part of the
+        // coherent hallucination when a message to that effect makes it to
+        // at least one other machine").
+        let first_send = sh.params.slot_send_time(d0, slot, now);
+        sh.send_to_controllers(
+            now,
+            sh.cub_node(self.id),
+            Message::InsertCommitted {
+                instance: pending.instance,
+                slot,
+                file: pending.file,
+                first_send,
+            },
+        );
+        // Hasten propagation of the fresh insert.
+        sh.queue.schedule(
+            now + SimDuration::from_millis(1),
+            Event::ForwardPass { cub: self.id },
+        );
+    }
+
+    // --- Deadman protocol (§2.3) -------------------------------------------
+
+    /// Periodic heartbeat to the successor.
+    pub fn on_deadman_ping(&mut self, sh: &mut Shared, now: SimTime) {
+        if self.failed {
+            return;
+        }
+        if let Some(succ) = self.next_living(self.id) {
+            sh.send_control(
+                now,
+                sh.cub_node(self.id),
+                sh.cub_node(succ),
+                Message::DeadmanPing { from: self.id },
+            );
+        }
+    }
+
+    /// Periodic silence check on the predecessor.
+    pub fn on_deadman_check(&mut self, sh: &mut Shared, now: SimTime) {
+        if self.failed {
+            return;
+        }
+        let Some(pred) = self.prev_living(self.id) else {
+            return;
+        };
+        if pred == self.id {
+            return;
+        }
+        let silence = now.saturating_since(self.last_heard[pred.index()]);
+        if silence > sh.cfg.deadman_timeout {
+            sh.metrics.failure_detections.push((now, pred.raw()));
+            self.declare_failed(sh, now, pred);
+            // Tell everyone (including the controller).
+            let me = sh.cub_node(self.id);
+            let notice = Message::FailureNotice { failed: pred };
+            let num_cubs = self.believed_failed.len() as u32;
+            for c in 0..num_cubs {
+                let target = CubId(c);
+                if target != self.id && !self.believed_failed[target.index()] {
+                    sh.send_control(now, me, sh.cub_node(target), notice.clone());
+                }
+            }
+            sh.send_to_controllers(now, me, notice);
+        }
+    }
+
+    fn on_failure_notice(&mut self, sh: &mut Shared, now: SimTime, failed: CubId) {
+        self.declare_failed(sh, now, failed);
+    }
+
+    fn declare_failed(&mut self, sh: &mut Shared, now: SimTime, failed: CubId) {
+        if self.believed_failed[failed.index()] || failed == self.id {
+            return;
+        }
+        self.believed_failed[failed.index()] = true;
+        // §2.3 gap bridging: "If two or more consecutive cubs are failed,
+        // the preceding living cub will send scheduling information to the
+        // succeeding living cub." Re-send the advanced copy of every
+        // recently serviced record whose next hop is now inside a dead
+        // span that begins right after us; the acting successor covers the
+        // span with mirror viewer states. Receipt is idempotent, so this
+        // is safe even when the normal double-forwarded copies survived.
+        let redrive: Vec<ViewerState> = self
+            .retired_log
+            .iter()
+            .map(|&(_, vs)| vs.advanced(1))
+            .filter(|next| {
+                sh.catalog
+                    .locate(next.file, next.position)
+                    .is_some_and(|loc| {
+                        self.believed_failed[loc.cub.index()]
+                            && self.prev_living(loc.cub) == Some(self.id)
+                    })
+            })
+            .collect();
+        if !sh.cfg.gap_recovery {
+            return self.takeover_if_acting_successor(sh, now, failed);
+        }
+        // Active entries already forwarded into what turned out to be the
+        // dead window must be re-forwarded: clear their flag so the next
+        // pass sends them to the new next-living successor.
+        let mut reforward = false;
+        for e in self.active.values_mut() {
+            if !e.forwarded || e.dropped || e.vs.kind != StreamKind::Primary {
+                continue;
+            }
+            let next = e.vs.advanced(1);
+            let into_gap = sh
+                .catalog
+                .locate(next.file, next.position)
+                .is_some_and(|loc| self.believed_failed[loc.cub.index()]);
+            if into_gap {
+                e.forwarded = false;
+                reforward = true;
+            }
+        }
+        if reforward {
+            sh.queue.schedule(
+                now + SimDuration::from_millis(1),
+                Event::ForwardPass { cub: self.id },
+            );
+        }
+        if !redrive.is_empty() {
+            let me = sh.cub_node(self.id);
+            // Group by destination: the acting successor of each record's
+            // dead cub (and its successor, for redundancy).
+            for next in redrive {
+                let loc = sh
+                    .catalog
+                    .locate(next.file, next.position)
+                    .expect("filtered above");
+                if let Some(succ) = self.next_living(loc.cub) {
+                    if succ == self.id {
+                        // Unreachable in practice (we precede the gap), but
+                        // handle the two-cub ring degenerately.
+                        continue;
+                    }
+                    sh.send_control(
+                        now,
+                        me,
+                        sh.cub_node(succ),
+                        Message::ViewerStates(vec![next]),
+                    );
+                    if let Some(second) = self.next_living(succ) {
+                        if second != self.id {
+                            sh.send_control(
+                                now,
+                                me,
+                                sh.cub_node(second),
+                                Message::ViewerStates(vec![next]),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.takeover_if_acting_successor(sh, now, failed);
+    }
+
+    /// The acting-successor duties on a failure: promote redundant starts
+    /// and convert shadows for the failed cub's disks into mirror service.
+    fn takeover_if_acting_successor(&mut self, sh: &mut Shared, now: SimTime, failed: CubId) {
+        if !self.acting_successor_of(failed) {
+            return;
+        }
+        let stripe = sh.params.stripe();
+        let promote: Vec<PendingStart> = self
+            .redundant_starts
+            .iter()
+            .filter(|p| {
+                sh.catalog
+                    .get(p.file)
+                    .is_some_and(|m| stripe.cub_of(m.start_disk) == failed)
+            })
+            .copied()
+            .collect();
+        self.redundant_starts.retain(|p| {
+            !sh.catalog
+                .get(p.file)
+                .is_some_and(|m| stripe.cub_of(m.start_disk) == failed)
+        });
+        for p in promote {
+            if !self.start_queue.iter().any(|q| q.instance == p.instance) {
+                self.start_queue.push(p);
+            }
+        }
+        if !self.start_queue.is_empty() {
+            self.schedule_insert_attempt(sh, now + SimDuration::from_nanos(1));
+        }
+        // Re-drive shadowed schedule information addressed to *any* cub we
+        // now cover. This matters when the dying cub was itself the acting
+        // successor for an earlier failure: records it was advancing
+        // internally die with it, and our shadows (deposited by the
+        // double-forwarding) are the only surviving copies — exactly the
+        // §4.1.1 argument for forwarding twice.
+        let shadows: Vec<ViewerState> = self
+            .shadows
+            .values()
+            .filter(|s| {
+                sh.catalog
+                    .locate(s.vs.file, s.vs.position)
+                    .is_some_and(|loc| {
+                        self.believed_failed[loc.cub.index()] && self.acting_successor_of(loc.cub)
+                    })
+            })
+            .map(|s| s.vs)
+            .collect();
+        for vs in shadows {
+            self.shadows.remove(&(vs.slot, vs.instance));
+            self.on_primary_state(sh, now, vs);
+        }
+    }
+
+    /// Power-cut: the cub stops doing anything; its disks die with it.
+    pub fn power_cut(&mut self, now: SimTime) {
+        self.failed = true;
+        for d in &mut self.disks {
+            d.fail(now);
+        }
+        self.active.clear();
+        self.by_key.clear();
+        self.view = ScheduleView::new();
+        self.shadows.clear();
+        self.start_queue.clear();
+        self.redundant_starts.clear();
+        self.retired_log.clear();
+        self.buffer_bytes_in_use = 0;
+    }
+}
+
+fn d0_is_local(sh: &Shared, me: CubId, d0: DiskId) -> bool {
+    sh.params.stripe().cub_of(d0) == me
+}

@@ -1,0 +1,111 @@
+//! Simulation events.
+
+use tiger_layout::CubId;
+use tiger_net::NetNode;
+
+use crate::msg::Message;
+
+/// A token identifying one scheduled block (or mirror-piece) service on a
+/// cub: the key into the cub's active-service table.
+pub type ServiceToken = u64;
+
+/// Everything that can happen in a Tiger simulation.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A control message arrives at a node.
+    Deliver {
+        /// The destination node.
+        dst: NetNode,
+        /// The message.
+        msg: Message,
+    },
+    /// Time to issue the disk read for service `token` (one scheduling
+    /// lead before the block is due at the network).
+    ReadIssue {
+        /// The cub that should read.
+        cub: CubId,
+        /// The service the read belongs to.
+        token: ServiceToken,
+    },
+    /// A disk read issued by `cub` for service `token` completed.
+    DiskDone {
+        /// The cub whose disk finished.
+        cub: CubId,
+        /// The service the read belongs to.
+        token: ServiceToken,
+    },
+    /// Service `token`'s block is due at the network.
+    SendDue {
+        /// The servicing cub.
+        cub: CubId,
+        /// The service to transmit.
+        token: ServiceToken,
+    },
+    /// A paced block transmission finishes (frees NIC bandwidth and
+    /// delivers the data to the client).
+    SendDone {
+        /// The sending cub.
+        cub: CubId,
+        /// The completed service.
+        token: ServiceToken,
+    },
+    /// Periodic viewer-state forwarding pass on a cub (batching).
+    ForwardPass {
+        /// The cub running the pass.
+        cub: CubId,
+    },
+    /// A cub attempts to insert queued start requests into owned slots.
+    InsertAttempt {
+        /// The attempting cub.
+        cub: CubId,
+    },
+    /// Periodic deadman heartbeat send.
+    DeadmanPing {
+        /// The pinging cub.
+        cub: CubId,
+    },
+    /// Periodic deadman silence check.
+    DeadmanCheck {
+        /// The checking cub.
+        cub: CubId,
+    },
+    /// Fault injection: power-cut a cub.
+    FailCub {
+        /// The cub to kill.
+        cub: CubId,
+    },
+    /// Fault injection: power-cut the (primary) controller.
+    FailController,
+    /// The backup controller's silence timer fired: promote it.
+    PromoteBackup,
+    /// Workload: a client issues a start request for a file.
+    ClientStart {
+        /// The client node index (0-based among clients).
+        client: u32,
+        /// The file to request.
+        file: tiger_layout::FileId,
+        /// First block to play.
+        from_block: u32,
+        /// The pre-allocated viewer instance.
+        instance: tiger_layout::ids::ViewerInstance,
+    },
+    /// Workload: a client issues a stop request for a viewer.
+    ClientStop {
+        /// The viewer instance to stop.
+        instance: tiger_layout::ids::ViewerInstance,
+    },
+    /// Workload: resume a paused viewer from where it left off (VCR
+    /// resume). The new play instance bumps the incarnation number.
+    ClientResume {
+        /// The paused viewer instance.
+        instance: tiger_layout::ids::ViewerInstance,
+    },
+    /// Workload: jump a playing viewer to a new position (VCR seek): stop
+    /// the current instance and start a new incarnation at `to_block`.
+    ClientSeek {
+        /// The viewer instance to move.
+        instance: tiger_layout::ids::ViewerInstance,
+        /// The block to jump to.
+        to_block: u32,
+    },
+}

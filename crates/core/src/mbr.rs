@@ -1,0 +1,388 @@
+//! Multiple-bitrate insertion: the two-phase reservation protocol of §4.2.
+//!
+//! In the multiple-bitrate Tiger, schedule entries are one block play time
+//! wide, and cubs are exactly one block play time apart in the schedule —
+//! so no single cub ever has exclusive ownership of the span an insertion
+//! needs, and the single-bitrate ownership trick cannot work. Instead:
+//!
+//! 1. the originating cub checks its local view; if the insertion can't be
+//!    ruled out it *tentatively* inserts, **starts the first disk read
+//!    speculatively**, and asks its successor to reserve the space;
+//! 2. the successor checks its own view, records a reservation, and
+//!    replies;
+//! 3. if the confirmation arrives before the first block must be sent, the
+//!    originator commits (and the viewer state replaces the reservation);
+//!    otherwise it aborts, releases the reservation, and retries later.
+//!
+//! Because the disk read and the round trip overlap, "there will almost
+//! always be time for the communication with the succeeding cub without
+//! having to increase the scheduling lead value" — the ablation bench
+//! measures exactly that.
+
+use rand::rngs::StdRng;
+
+use tiger_layout::ids::ViewerInstance;
+use tiger_layout::ViewerId;
+use tiger_net::LatencyModel;
+use tiger_sched::{NetEntryId, NetworkSchedule};
+use tiger_sim::{Bandwidth, RngTree, SimDuration, SimTime};
+
+/// Configuration of a multiple-bitrate schedule ring.
+#[derive(Clone, Debug)]
+pub struct MbrConfig {
+    /// Number of cubs in the ring.
+    pub num_cubs: u32,
+    /// Block play time (entry width).
+    pub block_play_time: SimDuration,
+    /// NIC capacity (schedule height).
+    pub nic_capacity: Bandwidth,
+    /// Start-position quantum (`block_play_time / decluster` per §3.2), or
+    /// `None` for arbitrary starts (the fragmentation ablation).
+    pub quantum: Option<SimDuration>,
+    /// Control latency between cubs.
+    pub latency: LatencyModel,
+    /// Time to read a first block from disk (speculative read).
+    pub first_read: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MbrConfig {
+    /// A testbed-like default: 14 cubs, 1 s entries, 135 Mbit/s NICs,
+    /// quantized starts at bpt/4.
+    pub fn default_ring() -> Self {
+        MbrConfig {
+            num_cubs: 14,
+            block_play_time: SimDuration::from_secs(1),
+            nic_capacity: Bandwidth::from_mbit_per_sec(135),
+            quantum: Some(SimDuration::from_millis(250)),
+            latency: LatencyModel::lan_default(),
+            first_read: SimDuration::from_millis(60),
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one two-phase insertion attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MbrOutcome {
+    /// Committed: the viewer is in the network schedule.
+    Committed {
+        /// Ring start position of the entry.
+        start: SimDuration,
+        /// When the insertion became final.
+        committed_at: SimTime,
+        /// Whether the reserve round trip was fully hidden behind the
+        /// speculative disk read.
+        confirm_hidden: bool,
+    },
+    /// The local view ruled the insertion out (schedule full at every
+    /// admissible start).
+    RejectedLocal,
+    /// The successor refused or answered too late; the tentative entry was
+    /// aborted and the disk read wasted.
+    Aborted,
+}
+
+/// Coordinates two-phase insertions over per-cub views of the network
+/// schedule.
+#[derive(Debug)]
+pub struct MbrCoordinator {
+    cfg: MbrConfig,
+    /// Per-cub views. Committed entries are reflected everywhere (the
+    /// steady-state propagation keeps views current at the lead times that
+    /// matter); tentative entries and reservations live only in the views
+    /// of the two cubs involved.
+    views: Vec<NetworkSchedule>,
+    rng: StdRng,
+    next_viewer: u64,
+    /// (viewer, entry ids per view) for committed entries.
+    committed: Vec<(ViewerInstance, Vec<NetEntryId>)>,
+    aborted_attempts: u64,
+    committed_attempts: u64,
+    hidden_confirms: u64,
+}
+
+impl MbrCoordinator {
+    /// Creates a ring with empty schedules.
+    pub fn new(cfg: MbrConfig) -> Self {
+        let views = (0..cfg.num_cubs)
+            .map(|_| {
+                NetworkSchedule::new(
+                    cfg.num_cubs,
+                    cfg.block_play_time,
+                    cfg.nic_capacity,
+                    cfg.quantum,
+                )
+            })
+            .collect();
+        let rng = RngTree::new(cfg.seed).fork("mbr", 0);
+        MbrCoordinator {
+            cfg,
+            views,
+            rng,
+            next_viewer: 0,
+            committed: Vec::new(),
+            aborted_attempts: 0,
+            committed_attempts: 0,
+            hidden_confirms: 0,
+        }
+    }
+
+    /// The view held by `cub` (for inspection).
+    pub fn view(&self, cub: u32) -> &NetworkSchedule {
+        &self.views[cub as usize]
+    }
+
+    /// Attempts a two-phase insertion of a `rate` stream originating at
+    /// `origin` at time `now`. The stream must start within
+    /// `deadline` of `now` (the scheduling lead budget).
+    pub fn try_insert(
+        &mut self,
+        now: SimTime,
+        origin: u32,
+        rate: Bandwidth,
+        deadline: SimDuration,
+    ) -> MbrOutcome {
+        let instance = ViewerInstance {
+            viewer: ViewerId(self.next_viewer),
+            incarnation: 0,
+        };
+        self.next_viewer += 1;
+
+        // Phase 0: local check. "It first checks its local copy of the
+        // schedule to see if it can rule out the insertion."
+        let probe = self.cfg.quantum.unwrap_or(SimDuration::from_millis(50));
+        let starts = self.views[origin as usize].admissible_starts(rate, probe);
+        let Some(&start) = starts.first() else {
+            return MbrOutcome::RejectedLocal;
+        };
+
+        // Phase 1: tentative insert + speculative disk read + reserve
+        // request to the successor.
+        let tentative = self.views[origin as usize]
+            .insert(instance, start, rate, true)
+            .expect("admissible start fits");
+        let succ = (origin + 1) % self.cfg.num_cubs;
+        let rtt = self.cfg.latency.sample(&mut self.rng) + self.cfg.latency.sample(&mut self.rng);
+        let read_done = now + self.cfg.first_read;
+        let reply_at = now + rtt;
+
+        // Successor-side check against *its* view (which may hold its own
+        // reservations the originator cannot see).
+        let succ_ok = self.views[succ as usize].fits(start, rate);
+        let reservation = if succ_ok {
+            Some(
+                self.views[succ as usize]
+                    .insert(instance, start, rate, true)
+                    .expect("fits just checked"),
+            )
+        } else {
+            None
+        };
+
+        // Phase 2: commit or abort.
+        let in_time = reply_at <= now + deadline;
+        if succ_ok && in_time {
+            self.views[origin as usize]
+                .commit(tentative)
+                .expect("tentative entry exists");
+            let res = reservation.expect("reservation recorded");
+            // "When the succeeding cub … receives the viewer state, it will
+            // replace the reservation with a real schedule entry."
+            self.views[succ as usize]
+                .commit(res)
+                .expect("reservation exists");
+            // Propagate the committed entry into every other view.
+            let mut ids = vec![NetEntryId(0); 0];
+            for (i, view) in self.views.iter_mut().enumerate() {
+                if i as u32 == origin {
+                    ids.push(tentative);
+                } else if i as u32 == succ {
+                    ids.push(res);
+                } else {
+                    let id = view
+                        .insert(instance, start, rate, false)
+                        .expect("committed entries fit every consistent view");
+                    ids.push(id);
+                }
+            }
+            self.committed.push((instance, ids));
+            self.committed_attempts += 1;
+            let hidden = rtt <= self.cfg.first_read;
+            if hidden {
+                self.hidden_confirms += 1;
+            }
+            MbrOutcome::Committed {
+                start,
+                committed_at: read_done.max(reply_at),
+                confirm_hidden: hidden,
+            }
+        } else {
+            // "It will abort the tentative schedule insertion and stop the
+            // disk I/O."
+            self.views[origin as usize]
+                .abort(tentative)
+                .expect("tentative entry exists");
+            if let Some(res) = reservation {
+                self.views[succ as usize]
+                    .abort(res)
+                    .expect("reservation exists");
+            }
+            self.aborted_attempts += 1;
+            MbrOutcome::Aborted
+        }
+    }
+
+    /// Removes a committed viewer from every view (deschedule).
+    pub fn remove(&mut self, instance: ViewerInstance) -> bool {
+        let Some(pos) = self.committed.iter().position(|(i, _)| *i == instance) else {
+            return false;
+        };
+        self.committed.swap_remove(pos);
+        for view in &mut self.views {
+            view.remove_instance(instance);
+        }
+        true
+    }
+
+    /// Committed streams.
+    pub fn committed_streams(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Fraction of committed insertions whose confirmation round trip was
+    /// fully hidden behind the speculative disk read.
+    pub fn hidden_confirm_fraction(&self) -> f64 {
+        if self.committed_attempts == 0 {
+            return 0.0;
+        }
+        self.hidden_confirms as f64 / self.committed_attempts as f64
+    }
+
+    /// Aborted insertion attempts.
+    pub fn aborted_attempts(&self) -> u64 {
+        self.aborted_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord() -> MbrCoordinator {
+        MbrCoordinator::new(MbrConfig::default_ring())
+    }
+
+    #[test]
+    fn basic_insert_commits() {
+        let mut c = coord();
+        let out = c.try_insert(
+            SimTime::ZERO,
+            0,
+            Bandwidth::from_mbit_per_sec(2),
+            SimDuration::from_millis(600),
+        );
+        assert!(matches!(out, MbrOutcome::Committed { .. }), "{out:?}");
+        assert_eq!(c.committed_streams(), 1);
+        // Every view reflects the commit.
+        for cub in 0..14 {
+            assert_eq!(c.view(cub).len(), 1);
+        }
+    }
+
+    #[test]
+    fn confirm_latency_usually_hidden() {
+        let mut c = coord();
+        for i in 0..50 {
+            let origin = i % 14;
+            let _ = c.try_insert(
+                SimTime::from_secs(u64::from(i)),
+                origin,
+                Bandwidth::from_mbit_per_sec(2),
+                SimDuration::from_millis(600),
+            );
+        }
+        // LAN RTT (4-20 ms) vs a 60 ms disk read: overlap hides virtually
+        // every confirmation (§4.2: "there will almost always be time").
+        assert!(c.hidden_confirm_fraction() > 0.9);
+    }
+
+    #[test]
+    fn full_ring_rejects_locally() {
+        let mut cfg = MbrConfig::default_ring();
+        cfg.nic_capacity = Bandwidth::from_mbit_per_sec(4);
+        let mut c = MbrCoordinator::new(cfg);
+        let mut committed = 0;
+        for i in 0..100 {
+            match c.try_insert(
+                SimTime::from_millis(u64::from(i) * 10),
+                i % 14,
+                Bandwidth::from_mbit_per_sec(2),
+                SimDuration::from_secs(1),
+            ) {
+                MbrOutcome::Committed { .. } => committed += 1,
+                MbrOutcome::RejectedLocal => break,
+                MbrOutcome::Aborted => {}
+            }
+        }
+        // 4 Mbit/s × 14 s ring / (2 Mbit/s × 1 s entries) = 28 streams max.
+        assert_eq!(committed, 28);
+        assert!(matches!(
+            c.try_insert(
+                SimTime::from_secs(10),
+                3,
+                Bandwidth::from_mbit_per_sec(2),
+                SimDuration::from_secs(1)
+            ),
+            MbrOutcome::RejectedLocal
+        ));
+    }
+
+    #[test]
+    fn slow_confirm_aborts_and_releases() {
+        let mut cfg = MbrConfig::default_ring();
+        cfg.latency = LatencyModel::fixed(SimDuration::from_millis(400));
+        let mut c = MbrCoordinator::new(cfg);
+        let out = c.try_insert(
+            SimTime::ZERO,
+            0,
+            Bandwidth::from_mbit_per_sec(2),
+            SimDuration::from_millis(600), // RTT = 800 ms > deadline.
+        );
+        assert_eq!(out, MbrOutcome::Aborted);
+        assert_eq!(c.committed_streams(), 0);
+        // The tentative entry and reservation were released.
+        assert_eq!(c.view(0).len(), 0);
+        assert_eq!(c.view(1).len(), 0);
+        // A retry with a workable deadline succeeds in the freed space.
+        let out = c.try_insert(
+            SimTime::from_secs(1),
+            0,
+            Bandwidth::from_mbit_per_sec(2),
+            SimDuration::from_secs(1),
+        );
+        assert!(matches!(out, MbrOutcome::Committed { .. }));
+    }
+
+    #[test]
+    fn remove_clears_all_views() {
+        let mut c = coord();
+        let out = c.try_insert(
+            SimTime::ZERO,
+            0,
+            Bandwidth::from_mbit_per_sec(2),
+            SimDuration::from_millis(600),
+        );
+        assert!(matches!(out, MbrOutcome::Committed { .. }));
+        let instance = ViewerInstance {
+            viewer: ViewerId(0),
+            incarnation: 0,
+        };
+        assert!(c.remove(instance));
+        assert!(!c.remove(instance));
+        for cub in 0..14 {
+            assert_eq!(c.view(cub).len(), 0);
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! The multiple-bitrate network schedule as a *distributed* system
+//! (paper §4.2), running over the event queue and the switched network.
+//!
+//! [`crate::mbr::MbrCoordinator`] models the two-phase insertion as direct
+//! function calls; this module runs the real message protocol:
+//!
+//! 1. the originating cub checks its local view, tentatively inserts,
+//!    **starts the first-block disk read speculatively**, and sends an
+//!    `MbrReserve` to its successor over the (latency-bearing, FIFO)
+//!    network;
+//! 2. the successor checks *its* view — which may hold reservations the
+//!    originator cannot see — records a reservation, and replies;
+//! 3. if the positive reply arrives before the deadline (the scheduling
+//!    lead budget), the originator commits and floods a commit notice
+//!    around the ring so every view converges; the successor's reservation
+//!    becomes a real entry. Otherwise the originator aborts, releases the
+//!    reservation, and the disk read is wasted.
+//!
+//! An omniscient observer applies every commit to a reference schedule and
+//! checks that the distributed views never overcommit the NIC anywhere —
+//! the coherent-hallucination condition for the 2-D schedule.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use tiger_layout::ids::ViewerInstance;
+use tiger_layout::ViewerId;
+#[cfg(test)]
+use tiger_net::LatencyModel;
+use tiger_net::{NetNode, Network};
+use tiger_sched::{NetEntryId, NetworkSchedule};
+use tiger_sim::{Bandwidth, EventQueue, RngTree, SimDuration, SimTime};
+
+use crate::mbr::MbrConfig;
+
+/// Messages of the distributed two-phase insertion protocol.
+#[derive(Clone, Debug)]
+enum MbrMsg {
+    Reserve {
+        reservation: u64,
+        instance: ViewerInstance,
+        start_nanos: u64,
+        rate_bps: u64,
+    },
+    ReserveReply {
+        reservation: u64,
+        ok: bool,
+    },
+    Commit {
+        instance: ViewerInstance,
+        start_nanos: u64,
+        rate_bps: u64,
+        hops_left: u32,
+    },
+    Release {
+        reservation: u64,
+    },
+    Remove {
+        instance: ViewerInstance,
+        hops_left: u32,
+    },
+}
+
+const MSG_BYTES: u64 = 64;
+
+/// Events of the MBR simulation.
+#[derive(Clone, Debug)]
+enum MbrEvent {
+    Deliver { dst: NetNode, msg: MbrMsg },
+    ReadDone { origin: u32, reservation: u64 },
+    Deadline { origin: u32, reservation: u64 },
+    Request { origin: u32, rate_bps: u64 },
+}
+
+/// Outcome statistics of a distributed MBR run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MbrDistStats {
+    /// Insertions committed.
+    pub committed: u64,
+    /// Insertions aborted (successor refusal or deadline miss).
+    pub aborted: u64,
+    /// Insertions rejected by the local view alone.
+    pub rejected_local: u64,
+    /// Commits whose reserve round trip finished before the speculative
+    /// disk read (fully hidden latency).
+    pub hidden_confirms: u64,
+    /// Capacity violations found by the omniscient observer (must be 0).
+    pub violations: u64,
+}
+
+/// One in-flight two-phase insertion at its originating cub.
+#[derive(Clone, Debug)]
+struct Pending {
+    instance: ViewerInstance,
+    entry: NetEntryId,
+    start: SimDuration,
+    rate: Bandwidth,
+    read_done: bool,
+    reply: Option<bool>,
+    rtt_done_at: Option<SimTime>,
+    read_done_at: Option<SimTime>,
+    deadline: SimTime,
+    resolved: bool,
+}
+
+/// Per-cub state.
+struct MbrCub {
+    view: NetworkSchedule,
+    /// Reservations held on behalf of predecessors: reservation id →
+    /// (entry, instance).
+    held: HashMap<u64, (NetEntryId, ViewerInstance)>,
+    pending: HashMap<u64, Pending>,
+}
+
+/// The distributed multiple-bitrate schedule manager.
+pub struct MbrSystem {
+    cfg: MbrConfig,
+    queue: EventQueue<MbrEvent>,
+    net: Network,
+    cubs: Vec<MbrCub>,
+    /// The omniscient reference schedule: all committed entries.
+    reference: NetworkSchedule,
+    stats: MbrDistStats,
+    next_instance: u64,
+    next_reservation: u64,
+    rng: rand::rngs::StdRng,
+    /// The insertion deadline budget (scheduling lead).
+    deadline: SimDuration,
+}
+
+impl MbrSystem {
+    /// Builds an idle ring.
+    pub fn new(cfg: MbrConfig, deadline: SimDuration) -> Self {
+        let rng_tree = RngTree::new(cfg.seed);
+        let make_sched = || {
+            NetworkSchedule::new(
+                cfg.num_cubs,
+                cfg.block_play_time,
+                cfg.nic_capacity,
+                cfg.quantum,
+            )
+        };
+        MbrSystem {
+            queue: EventQueue::new(),
+            net: Network::new(
+                cfg.num_cubs,
+                cfg.nic_capacity,
+                cfg.latency,
+                rng_tree.fork("mbr-net", 0),
+            ),
+            cubs: (0..cfg.num_cubs)
+                .map(|_| MbrCub {
+                    view: make_sched(),
+                    held: HashMap::new(),
+                    pending: HashMap::new(),
+                })
+                .collect(),
+            reference: make_sched(),
+            stats: MbrDistStats::default(),
+            next_instance: 0,
+            next_reservation: 0,
+            rng: rng_tree.fork("mbr-sys", 0),
+            deadline,
+            cfg,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MbrDistStats {
+        self.stats
+    }
+
+    /// The view of `cub` (for convergence checks).
+    pub fn view(&self, cub: u32) -> &NetworkSchedule {
+        &self.cubs[cub as usize].view
+    }
+
+    /// Total control bytes sent by `cub`.
+    pub fn control_bytes(&self, cub: u32) -> u64 {
+        self.net.total_control_bytes(NetNode(cub))
+    }
+
+    /// Schedules an insertion request at `at` from `origin`.
+    pub fn request_insert(&mut self, at: SimTime, origin: u32, rate: Bandwidth) {
+        self.queue.schedule(
+            at,
+            MbrEvent::Request {
+                origin,
+                rate_bps: rate.bits_per_sec(),
+            },
+        );
+    }
+
+    /// Runs until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some((now, ev)) = self.queue.pop_until(horizon) {
+            self.dispatch(now, ev);
+        }
+    }
+
+    fn send(&mut self, now: SimTime, src: u32, dst: u32, msg: MbrMsg) {
+        if let Some(at) = self
+            .net
+            .send_control(now, NetNode(src), NetNode(dst), MSG_BYTES)
+        {
+            self.queue.schedule(
+                at,
+                MbrEvent::Deliver {
+                    dst: NetNode(dst),
+                    msg,
+                },
+            );
+        }
+    }
+
+    fn succ(&self, cub: u32) -> u32 {
+        (cub + 1) % self.cfg.num_cubs
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: MbrEvent) {
+        match ev {
+            MbrEvent::Request { origin, rate_bps } => {
+                self.on_request(now, origin, Bandwidth::from_bits_per_sec(rate_bps));
+            }
+            MbrEvent::ReadDone {
+                origin,
+                reservation,
+            } => {
+                if let Some(p) = self.cubs[origin as usize].pending.get_mut(&reservation) {
+                    p.read_done = true;
+                    p.read_done_at = Some(now);
+                }
+                self.try_resolve(now, origin, reservation);
+            }
+            MbrEvent::Deadline {
+                origin,
+                reservation,
+            } => {
+                self.on_deadline(now, origin, reservation);
+            }
+            MbrEvent::Deliver { dst, msg } => self.on_message(now, dst.raw(), msg),
+        }
+    }
+
+    /// Cub `cub`'s position on the network-schedule ring at `t` (pointers
+    /// are one block play time apart, as on the disk schedule).
+    fn ring_position(&self, cub: u32, t: SimTime) -> SimDuration {
+        let l = self.cubs[cub as usize].view.len_duration().as_nanos();
+        let lag =
+            (self.cfg.block_play_time.as_nanos() as u128 * u128::from(cub) % u128::from(l)) as u64;
+        SimDuration::from_nanos(((t.as_nanos() % l) + l - lag) % l)
+    }
+
+    fn on_request(&mut self, now: SimTime, origin: u32, rate: Bandwidth) {
+        let instance = ViewerInstance {
+            viewer: ViewerId(self.next_instance),
+            incarnation: 0,
+        };
+        self.next_instance += 1;
+        // Phase 0: "it first checks its local copy of the schedule to see
+        // if it can rule out the insertion". The candidate start positions
+        // are pinned to where this cub's pointer will be when the stream
+        // must begin — this is what makes consulting only the *one*
+        // succeeding cub sufficient: entries of cubs two or more apart can
+        // never overlap, and adjacent cubs' conflicts are caught by the
+        // successor's reservation check.
+        let l = self.cubs[origin as usize].view.len_duration();
+        let step = self.cfg.quantum.unwrap_or(SimDuration::from_millis(50));
+        let base = self.ring_position(origin, now + self.deadline);
+        let mut candidate = {
+            // Round up to the grid, wrapping at the ring end.
+            let b = base.as_nanos();
+            let q = step.as_nanos();
+            SimDuration::from_nanos(b.div_ceil(q) * q % l.as_nanos())
+        };
+        let mut start = None;
+        let mut offset = SimDuration::ZERO;
+        while offset < self.cfg.block_play_time {
+            if self.cubs[origin as usize].view.fits(candidate, rate) {
+                start = Some(candidate);
+                break;
+            }
+            candidate =
+                SimDuration::from_nanos((candidate.as_nanos() + step.as_nanos()) % l.as_nanos());
+            offset += step;
+        }
+        let Some(start) = start else {
+            self.stats.rejected_local += 1;
+            return;
+        };
+        // Phase 1: tentative insert + speculative read + reserve request.
+        let entry = self.cubs[origin as usize]
+            .view
+            .insert(instance, start, rate, true)
+            .expect("admissible start fits the local view");
+        let reservation = self.next_reservation;
+        self.next_reservation += 1;
+        let read_time = SimDuration::from_nanos(
+            (self.cfg.first_read.as_nanos() as f64 * self.rng.gen_range(0.7..1.3)) as u64,
+        );
+        self.queue.schedule(
+            now + read_time,
+            MbrEvent::ReadDone {
+                origin,
+                reservation,
+            },
+        );
+        self.queue.schedule(
+            now + self.deadline,
+            MbrEvent::Deadline {
+                origin,
+                reservation,
+            },
+        );
+        self.cubs[origin as usize].pending.insert(
+            reservation,
+            Pending {
+                instance,
+                entry,
+                start,
+                rate,
+                read_done: false,
+                reply: None,
+                rtt_done_at: None,
+                read_done_at: None,
+                deadline: now + self.deadline,
+                resolved: false,
+            },
+        );
+        let succ = self.succ(origin);
+        self.send(
+            now,
+            origin,
+            succ,
+            MbrMsg::Reserve {
+                reservation,
+                instance,
+                start_nanos: start.as_nanos(),
+                rate_bps: rate.bits_per_sec(),
+            },
+        );
+    }
+
+    fn on_message(&mut self, now: SimTime, me: u32, msg: MbrMsg) {
+        match msg {
+            MbrMsg::Reserve {
+                reservation,
+                instance,
+                start_nanos,
+                rate_bps,
+            } => {
+                let start = SimDuration::from_nanos(start_nanos);
+                let rate = Bandwidth::from_bits_per_sec(rate_bps);
+                let cub = &mut self.cubs[me as usize];
+                let ok = cub.view.fits(start, rate);
+                if ok {
+                    let entry = cub
+                        .view
+                        .insert(instance, start, rate, true)
+                        .expect("fits just checked");
+                    cub.held.insert(reservation, (entry, instance));
+                }
+                // Reply to the predecessor (the originator).
+                let pred = (me + self.cfg.num_cubs - 1) % self.cfg.num_cubs;
+                self.send(now, me, pred, MbrMsg::ReserveReply { reservation, ok });
+            }
+            MbrMsg::ReserveReply { reservation, ok } => {
+                if let Some(p) = self.cubs[me as usize].pending.get_mut(&reservation) {
+                    p.reply = Some(ok);
+                    p.rtt_done_at = Some(now);
+                }
+                self.try_resolve(now, me, reservation);
+            }
+            MbrMsg::Commit {
+                instance,
+                start_nanos,
+                rate_bps,
+                hops_left,
+            } => {
+                let start = SimDuration::from_nanos(start_nanos);
+                let rate = Bandwidth::from_bits_per_sec(rate_bps);
+                let cub = &mut self.cubs[me as usize];
+                // The successor replaces its reservation with a real entry;
+                // other cubs learn of the commit and add it.
+                let held = cub
+                    .held
+                    .iter()
+                    .find(|(_, (_, inst))| *inst == instance)
+                    .map(|(&r, &(entry, _))| (r, entry));
+                match held {
+                    Some((r, entry)) => {
+                        cub.view.commit(entry).expect("reservation exists");
+                        cub.held.remove(&r);
+                    }
+                    None if !cub.view.has_instance(instance) => {
+                        // Views are kept consistent by commit flooding, so
+                        // a committed entry always fits here too.
+                        let _ = cub.view.insert(instance, start, rate, false);
+                    }
+                    None => {} // The flood lapped back to a cub that knows.
+                }
+                if hops_left > 0 {
+                    let succ = self.succ(me);
+                    self.send(
+                        now,
+                        me,
+                        succ,
+                        MbrMsg::Commit {
+                            instance,
+                            start_nanos,
+                            rate_bps,
+                            hops_left: hops_left - 1,
+                        },
+                    );
+                }
+            }
+            MbrMsg::Release { reservation } => {
+                let cub = &mut self.cubs[me as usize];
+                if let Some((entry, _)) = cub.held.remove(&reservation) {
+                    let _ = cub.view.abort(entry);
+                }
+            }
+            MbrMsg::Remove {
+                instance,
+                hops_left,
+            } => {
+                self.cubs[me as usize].view.remove_instance(instance);
+                if hops_left > 0 {
+                    let succ = self.succ(me);
+                    self.send(
+                        now,
+                        me,
+                        succ,
+                        MbrMsg::Remove {
+                            instance,
+                            hops_left: hops_left - 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Commits or aborts when both the read and the reply have resolved.
+    fn try_resolve(&mut self, now: SimTime, origin: u32, reservation: u64) {
+        let Some(p) = self.cubs[origin as usize].pending.get(&reservation) else {
+            return;
+        };
+        if p.resolved || p.reply.is_none() || !p.read_done {
+            return;
+        }
+        let p = p.clone();
+        let entry = self.cubs[origin as usize]
+            .pending
+            .get_mut(&reservation)
+            .expect("just read");
+        entry.resolved = true;
+        if p.reply == Some(true) && now <= p.deadline {
+            self.cubs[origin as usize]
+                .view
+                .commit(p.entry)
+                .expect("tentative entry exists");
+            self.stats.committed += 1;
+            if let (Some(rtt), Some(read)) = (p.rtt_done_at, p.read_done_at) {
+                if rtt <= read {
+                    self.stats.hidden_confirms += 1;
+                }
+            }
+            // Omniscient reference: committed entries must always fit.
+            if self
+                .reference
+                .insert(p.instance, p.start, p.rate, false)
+                .is_err()
+            {
+                self.stats.violations += 1;
+            }
+            // Flood the commit around the ring (everyone's view converges).
+            let succ = self.succ(origin);
+            self.send(
+                now,
+                origin,
+                succ,
+                MbrMsg::Commit {
+                    instance: p.instance,
+                    start_nanos: p.start.as_nanos(),
+                    rate_bps: p.rate.bits_per_sec(),
+                    hops_left: self.cfg.num_cubs - 1,
+                },
+            );
+            self.cubs[origin as usize].pending.remove(&reservation);
+        } else {
+            self.abort(now, origin, reservation);
+        }
+    }
+
+    fn on_deadline(&mut self, now: SimTime, origin: u32, reservation: u64) {
+        let Some(p) = self.cubs[origin as usize].pending.get(&reservation) else {
+            return;
+        };
+        if p.resolved {
+            return;
+        }
+        // "If a cub … doesn't receive a response from the succeeding cub in
+        // time, it will abort the tentative schedule insertion and stop the
+        // disk I/O."
+        self.abort(now, origin, reservation);
+    }
+
+    fn abort(&mut self, now: SimTime, origin: u32, reservation: u64) {
+        let Some(p) = self.cubs[origin as usize].pending.remove(&reservation) else {
+            return;
+        };
+        let _ = self.cubs[origin as usize].view.abort(p.entry);
+        self.stats.aborted += 1;
+        let succ = self.succ(origin);
+        self.send(now, origin, succ, MbrMsg::Release { reservation });
+    }
+
+    /// Removes a committed instance from every view (deschedule).
+    pub fn request_remove(&mut self, at: SimTime, origin: u32, instance: ViewerInstance) {
+        self.reference.remove_instance(instance);
+        self.queue.schedule(
+            at,
+            MbrEvent::Deliver {
+                dst: NetNode(origin),
+                msg: MbrMsg::Remove {
+                    instance,
+                    hops_left: self.cfg.num_cubs,
+                },
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> MbrSystem {
+        MbrSystem::new(MbrConfig::default_ring(), SimDuration::from_millis(700))
+    }
+
+    fn mbit(n: u64) -> Bandwidth {
+        Bandwidth::from_mbit_per_sec(n)
+    }
+
+    #[test]
+    fn insertions_commit_over_the_wire() {
+        let mut sys = ring();
+        for i in 0..40u64 {
+            sys.request_insert(SimTime::from_millis(i * 100), (i % 14) as u32, mbit(2));
+        }
+        sys.run_until(SimTime::from_secs(20));
+        let stats = sys.stats();
+        assert_eq!(stats.committed, 40, "{stats:?}");
+        assert_eq!(stats.violations, 0);
+        assert_eq!(stats.aborted, 0);
+        // Views converge: every cub sees all 40 entries.
+        for cub in 0..14 {
+            assert_eq!(sys.view(cub).len(), 40, "cub {cub} view incomplete");
+        }
+    }
+
+    #[test]
+    fn lan_latency_is_hidden_behind_the_read() {
+        let mut sys = ring();
+        for i in 0..60u64 {
+            sys.request_insert(SimTime::from_millis(i * 200), (i % 14) as u32, mbit(2));
+        }
+        sys.run_until(SimTime::from_secs(30));
+        let stats = sys.stats();
+        assert_eq!(stats.committed, 60);
+        // ~60 ms read vs 4-20 ms round trip: almost always hidden (§4.2).
+        assert!(
+            stats.hidden_confirms as f64 / stats.committed as f64 > 0.9,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn slow_network_aborts_and_releases() {
+        let mut cfg = MbrConfig::default_ring();
+        cfg.latency = LatencyModel::fixed(SimDuration::from_millis(500));
+        let mut sys = MbrSystem::new(cfg, SimDuration::from_millis(700));
+        sys.request_insert(SimTime::ZERO, 0, mbit(2));
+        sys.run_until(SimTime::from_secs(5));
+        let stats = sys.stats();
+        assert_eq!(stats.aborted, 1, "{stats:?}");
+        assert_eq!(stats.committed, 0);
+        // Both the tentative entry and the reservation were released.
+        assert_eq!(sys.view(0).len(), 0);
+        assert_eq!(sys.view(1).len(), 0);
+    }
+
+    #[test]
+    fn concurrent_insertions_never_overcommit() {
+        // A storm of concurrent insertions from every cub against a small
+        // NIC: successor reservations must serialize what local views
+        // cannot see; the reference schedule (checked on every commit)
+        // catches any overcommit.
+        let mut cfg = MbrConfig::default_ring();
+        cfg.nic_capacity = mbit(8);
+        let mut sys = MbrSystem::new(cfg, SimDuration::from_millis(700));
+        for i in 0..200u64 {
+            sys.request_insert(SimTime::from_millis(i * 7), (i % 14) as u32, mbit(2));
+        }
+        sys.run_until(SimTime::from_secs(60));
+        let stats = sys.stats();
+        assert_eq!(stats.violations, 0, "{stats:?}");
+        // 8 Mbit/s × 14 s ring / (2 Mbit/s × 1 s) = 56 streams max.
+        assert!(stats.committed <= 56, "{stats:?}");
+        assert!(stats.committed >= 40, "storm should mostly fill: {stats:?}");
+        assert_eq!(stats.committed + stats.aborted + stats.rejected_local, 200);
+    }
+
+    #[test]
+    fn removal_propagates_to_every_view() {
+        let mut sys = ring();
+        sys.request_insert(SimTime::ZERO, 0, mbit(4));
+        sys.run_until(SimTime::from_secs(2));
+        assert_eq!(sys.stats().committed, 1);
+        let inst = ViewerInstance {
+            viewer: ViewerId(0),
+            incarnation: 0,
+        };
+        sys.request_remove(SimTime::from_secs(3), 0, inst);
+        sys.run_until(SimTime::from_secs(6));
+        for cub in 0..14 {
+            assert_eq!(sys.view(cub).len(), 0, "cub {cub} kept a removed entry");
+        }
+    }
+}

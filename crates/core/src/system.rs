@@ -1,0 +1,966 @@
+//! The assembled Tiger system: event loop, node wiring, content loading,
+//! fault injection, and measurement windows.
+
+use tiger_disk::Disk;
+use tiger_layout::catalog::BitrateMode;
+use tiger_layout::ids::ViewerInstance;
+use tiger_layout::{BlockNum, CubId, FileCatalog, FileId, MirrorPlacement, ViewerId};
+use tiger_net::{NetNode, Network};
+use tiger_sched::disk_schedule::Omniscient;
+use tiger_sched::{Deschedule, ScheduleParams};
+use tiger_sim::{Bandwidth, EventQueue, RngTree, SimDuration, SimTime};
+
+use crate::client::{Client, ClientReport};
+use crate::config::TigerConfig;
+use crate::controller::Controller;
+use crate::cpu::CpuModel;
+use crate::cub::Cub;
+use crate::event::Event;
+use crate::metrics::{Metrics, WindowSample};
+use crate::msg::Message;
+
+/// State shared by all component handlers: the event queue, the network,
+/// static configuration, and measurement sinks.
+#[derive(Debug)]
+pub struct Shared {
+    /// Static configuration.
+    pub cfg: TigerConfig,
+    /// Derived schedule parameters.
+    pub params: ScheduleParams,
+    /// The (replicated) file catalog.
+    pub catalog: FileCatalog,
+    /// Mirror placement helper.
+    pub placement: MirrorPlacement,
+    /// The deterministic event queue.
+    pub queue: EventQueue<Event>,
+    /// The switched network.
+    pub net: Network,
+    /// Measurement sinks.
+    pub metrics: Metrics,
+    /// Omniscient hallucination checker (tests and verification runs).
+    pub omniscient: Option<Omniscient>,
+}
+
+impl Shared {
+    /// The (primary) controller's network node.
+    pub fn controller_node(&self) -> NetNode {
+        NetNode(0)
+    }
+
+    /// The backup controller's network node, if one is configured. It
+    /// sits past the clients in the node numbering.
+    pub fn backup_controller_node(&self) -> Option<NetNode> {
+        self.cfg
+            .backup_controller
+            .then(|| NetNode(1 + self.cfg.stripe.num_cubs + self.cfg.num_clients))
+    }
+
+    /// Sends a controller-bound notice to the primary and, when a backup
+    /// is configured, mirrors it there (state replication).
+    pub fn send_to_controllers(&mut self, now: SimTime, src: NetNode, msg: Message) {
+        let primary = self.controller_node();
+        self.send_control(now, src, primary, msg.clone());
+        if let Some(backup) = self.backup_controller_node() {
+            self.send_control(now, src, backup, msg);
+        }
+    }
+
+    /// The network node of `cub`.
+    pub fn cub_node(&self, cub: CubId) -> NetNode {
+        NetNode(1 + cub.raw())
+    }
+
+    /// The network node of client machine `client` (0-based).
+    pub fn client_node(&self, client: u32) -> NetNode {
+        NetNode(1 + self.cfg.stripe.num_cubs + client)
+    }
+
+    /// Sends a control message and schedules its delivery event.
+    pub fn send_control(&mut self, now: SimTime, src: NetNode, dst: NetNode, msg: Message) {
+        if let Some(at) = self.net.send_control(now, src, dst, msg.control_bytes()) {
+            self.queue.schedule(at, Event::Deliver { dst, msg });
+        }
+    }
+}
+
+/// The whole simulated Tiger system.
+#[derive(Debug)]
+pub struct TigerSystem {
+    shared: Shared,
+    cubs: Vec<Cub>,
+    controller: Controller,
+    clients: Vec<Client>,
+    cpu: CpuModel,
+    /// The controller's failure beliefs (for routing around dead cubs).
+    controller_believes_failed: Vec<bool>,
+    /// Hot-standby controller state, mirrored from the cubs' notices.
+    backup: Controller,
+    /// Where clients currently address controller requests.
+    active_controller: NetNode,
+    /// Whether the backup has taken over.
+    promoted: bool,
+    next_viewer: u64,
+    clients_handed: u32,
+    window_start: SimTime,
+    /// When each cub's next *periodic* forward pass is due (extra one-shot
+    /// passes triggered by fresh inserts do not reschedule).
+    periodic_forward_due: Vec<SimTime>,
+}
+
+impl TigerSystem {
+    /// Builds an idle system (no content, no viewers) from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TigerConfig::validate`]).
+    pub fn new(cfg: TigerConfig) -> Self {
+        cfg.validate();
+        let params = ScheduleParams::derive(
+            cfg.stripe,
+            cfg.block_play_time,
+            cfg.block_size(),
+            cfg.disk_worst_read(),
+            cfg.nic_capacity,
+        )
+        .with_scheduling_lead(cfg.scheduling_lead)
+        .with_ownership_duration(cfg.ownership_duration);
+        let catalog = FileCatalog::new(
+            cfg.stripe,
+            cfg.block_play_time,
+            cfg.max_bitrate,
+            BitrateMode::Single,
+        );
+        let rng = RngTree::new(cfg.seed);
+        let nodes = 1 + cfg.stripe.num_cubs + cfg.num_clients + u32::from(cfg.backup_controller);
+        let net = Network::new(nodes, cfg.nic_capacity, cfg.latency, rng.fork("net", 0));
+        let mut cubs = Vec::with_capacity(cfg.stripe.num_cubs as usize);
+        for c in 0..cfg.stripe.num_cubs {
+            let disks: Vec<Disk> = (0..cfg.stripe.disks_per_cub)
+                .map(|l| {
+                    Disk::new(
+                        cfg.disk.clone(),
+                        rng.fork("disk", u64::from(c) * 1000 + u64::from(l)),
+                    )
+                })
+                .collect();
+            cubs.push(Cub::new(CubId(c), cfg.stripe.num_cubs, disks));
+        }
+        let clients = (0..cfg.num_clients).map(|_| Client::new()).collect();
+        let placement = MirrorPlacement::new(cfg.stripe);
+        let num_cubs = cfg.stripe.num_cubs;
+        let mut sys = TigerSystem {
+            shared: Shared {
+                cfg,
+                params,
+                catalog,
+                placement,
+                queue: EventQueue::new(),
+                net,
+                metrics: Metrics::new(),
+                omniscient: None,
+            },
+            cubs,
+            controller: Controller::new(),
+            clients,
+            cpu: CpuModel::pentium133(),
+            controller_believes_failed: vec![false; num_cubs as usize],
+            backup: Controller::new(),
+            active_controller: NetNode(0),
+            promoted: false,
+            next_viewer: 0,
+            clients_handed: 0,
+            window_start: SimTime::ZERO,
+            periodic_forward_due: vec![SimTime::ZERO; num_cubs as usize],
+        };
+        sys.schedule_periodic_events();
+        sys
+    }
+
+    /// Enables the omniscient hallucination checker; tests use this to
+    /// verify every cub action against the materialized global schedule.
+    ///
+    /// The in-flight grace window covers the maximum viewer-state lead plus
+    /// one block play time: an end-of-file notice (and hence the checker's
+    /// removal) can run that far ahead of the stream's final block send.
+    pub fn enable_omniscient(&mut self) {
+        let grace = self.shared.cfg.max_vstate_lead
+            + self.shared.cfg.block_play_time
+            + SimDuration::from_millis(500);
+        self.shared.omniscient =
+            Some(Omniscient::new(self.shared.params.clone()).with_grace(grace));
+    }
+
+    fn schedule_periodic_events(&mut self) {
+        let cfg = &self.shared.cfg;
+        let n = u64::from(cfg.stripe.num_cubs);
+        for c in 0..cfg.stripe.num_cubs {
+            // Stagger periodic work across cubs so the simulation does not
+            // synchronize artificial load spikes.
+            let offset =
+                SimDuration::from_nanos(cfg.forward_interval.as_nanos() * u64::from(c) / n);
+            self.shared.queue.schedule(
+                SimTime::ZERO + cfg.forward_interval + offset,
+                Event::ForwardPass { cub: CubId(c) },
+            );
+            let ping_offset =
+                SimDuration::from_nanos(cfg.deadman_interval.as_nanos() * u64::from(c) / n);
+            self.shared.queue.schedule(
+                SimTime::ZERO + ping_offset + SimDuration::from_millis(1),
+                Event::DeadmanPing { cub: CubId(c) },
+            );
+            self.shared.queue.schedule(
+                SimTime::ZERO + cfg.deadman_timeout + ping_offset,
+                Event::DeadmanCheck { cub: CubId(c) },
+            );
+        }
+    }
+
+    // --- Content loading ---------------------------------------------------
+
+    /// Adds a file of `bitrate` and `duration`, laying its primary blocks
+    /// and declustered mirror pieces out across every disk (§2.2–§2.3).
+    pub fn add_file(&mut self, bitrate: Bandwidth, duration: SimDuration) -> FileId {
+        let file = self.shared.catalog.add_file(bitrate, duration);
+        let meta = *self.shared.catalog.get(file).expect("just added");
+        let stripe = self.shared.params.stripe();
+        for b in 0..meta.num_blocks {
+            let loc = self
+                .shared
+                .catalog
+                .locate(file, BlockNum(b))
+                .expect("in range");
+            let local = stripe.local_index_of(loc.disk);
+            self.cubs[loc.cub.index()].load_primary(
+                loc.disk,
+                local,
+                file,
+                BlockNum(b),
+                meta.block_size,
+            );
+            for piece in self.shared.placement.pieces_for(loc.disk, meta.block_size) {
+                let pcub = stripe.cub_of(piece.disk);
+                let plocal = stripe.local_index_of(piece.disk);
+                self.cubs[pcub.index()].load_secondary(
+                    piece.disk,
+                    plocal,
+                    file,
+                    BlockNum(b),
+                    piece.piece,
+                    piece.size,
+                );
+            }
+        }
+        file
+    }
+
+    /// Hands out a client machine index (round-robin over the
+    /// `TigerConfig::num_clients` pre-allocated client machines).
+    pub fn add_client(&mut self) -> u32 {
+        let idx = self.clients_handed % self.shared.cfg.num_clients;
+        self.clients_handed += 1;
+        idx
+    }
+
+    // --- Workload API --------------------------------------------------------
+
+    /// Schedules a start request from `client` for `file` at time `at`.
+    /// Returns the viewer instance that will be used.
+    pub fn request_start(&mut self, at: SimTime, client: u32, file: FileId) -> ViewerInstance {
+        self.request_start_at(at, client, file, 0)
+    }
+
+    /// Schedules a start request beginning at `from_block` (VCR semantics:
+    /// a resume or a chapter jump starts mid-file).
+    pub fn request_start_at(
+        &mut self,
+        at: SimTime,
+        client: u32,
+        file: FileId,
+        from_block: u32,
+    ) -> ViewerInstance {
+        assert!(client < self.shared.cfg.num_clients, "unknown client");
+        let instance = ViewerInstance {
+            viewer: ViewerId(self.next_viewer),
+            incarnation: 0,
+        };
+        self.next_viewer += 1;
+        self.shared.queue.schedule(
+            at,
+            Event::ClientStart {
+                client,
+                file,
+                from_block,
+                instance,
+            },
+        );
+        instance
+    }
+
+    /// Schedules a stop request for `instance` at time `at`.
+    pub fn request_stop(&mut self, at: SimTime, instance: ViewerInstance) {
+        self.shared
+            .queue
+            .schedule(at, Event::ClientStop { instance });
+    }
+
+    /// Schedules a pause: the viewer leaves the schedule (a deschedule),
+    /// but the client remembers how far it got so a later
+    /// [`TigerSystem::request_resume`] can pick up from there.
+    pub fn request_pause(&mut self, at: SimTime, instance: ViewerInstance) {
+        self.request_stop(at, instance);
+    }
+
+    /// Schedules a resume of a paused viewer: a fresh play instance (the
+    /// incarnation number bumps, so stale deschedules cannot kill it,
+    /// §4.1.2) starting at the first block the paused instance did not
+    /// receive. Returns the resumed instance.
+    pub fn request_resume(&mut self, at: SimTime, instance: ViewerInstance) -> ViewerInstance {
+        self.shared
+            .queue
+            .schedule(at, Event::ClientResume { instance });
+        ViewerInstance {
+            viewer: instance.viewer,
+            incarnation: instance.incarnation + 1,
+        }
+    }
+
+    /// Schedules a seek: stop the current play instance and start a new
+    /// incarnation at `to_block`. Returns the new instance.
+    pub fn request_seek(
+        &mut self,
+        at: SimTime,
+        instance: ViewerInstance,
+        to_block: u32,
+    ) -> ViewerInstance {
+        self.shared
+            .queue
+            .schedule(at, Event::ClientSeek { instance, to_block });
+        ViewerInstance {
+            viewer: instance.viewer,
+            incarnation: instance.incarnation + 1,
+        }
+    }
+
+    /// Schedules a power-cut of `cub` at time `at`.
+    pub fn fail_cub_at(&mut self, at: SimTime, cub: CubId) {
+        self.shared.queue.schedule(at, Event::FailCub { cub });
+    }
+
+    /// Schedules a power-cut of the primary controller at time `at`. With
+    /// a backup controller configured, the backup promotes itself after
+    /// the failover timeout; without one, running streams continue
+    /// unaffected but no new viewer can start or stop (the paper's §2.3
+    /// single-point-of-failure caveat).
+    pub fn fail_controller_at(&mut self, at: SimTime) {
+        self.shared.queue.schedule(at, Event::FailController);
+    }
+
+    // --- Event loop ----------------------------------------------------------
+
+    /// Runs the simulation until `horizon` (inclusive).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some((now, event)) = self.shared.queue.pop_until(horizon) {
+            self.dispatch(now, event);
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.shared.queue.now()
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Deliver { dst, msg } => self.on_deliver(now, dst, msg),
+            Event::ReadIssue { cub, token } => {
+                self.cubs[cub.index()].on_read_issue(&mut self.shared, now, token);
+            }
+            Event::DiskDone { cub, token } => {
+                self.cubs[cub.index()].on_disk_done(&mut self.shared, now, token);
+            }
+            Event::SendDue { cub, token } => {
+                self.cubs[cub.index()].on_send_due(&mut self.shared, now, token);
+            }
+            Event::SendDone { cub, token } => {
+                self.cubs[cub.index()].on_send_done(&mut self.shared, now, token);
+            }
+            Event::ForwardPass { cub } => {
+                let c = &mut self.cubs[cub.index()];
+                let was_periodic = self.periodic_forward_due[cub.index()] <= now;
+                c.on_forward_pass(&mut self.shared, now);
+                // Reschedule only the periodic pass (commit_insert schedules
+                // extra one-shot passes that must not multiply).
+                if was_periodic && !c.failed {
+                    let next = now + self.shared.cfg.forward_interval;
+                    self.periodic_forward_due[cub.index()] = next;
+                    c.next_forward_pass = next;
+                    self.shared.queue.schedule(next, Event::ForwardPass { cub });
+                }
+            }
+            Event::InsertAttempt { cub } => {
+                self.cubs[cub.index()].on_insert_attempt(&mut self.shared, now);
+            }
+            Event::DeadmanPing { cub } => {
+                let c = &mut self.cubs[cub.index()];
+                c.on_deadman_ping(&mut self.shared, now);
+                if !c.failed {
+                    self.shared
+                        .queue
+                        .schedule_in(self.shared.cfg.deadman_interval, Event::DeadmanPing { cub });
+                }
+            }
+            Event::DeadmanCheck { cub } => {
+                let c = &mut self.cubs[cub.index()];
+                c.on_deadman_check(&mut self.shared, now);
+                if !c.failed {
+                    self.shared.queue.schedule_in(
+                        self.shared.cfg.deadman_interval,
+                        Event::DeadmanCheck { cub },
+                    );
+                }
+            }
+            Event::FailCub { cub } => {
+                self.cubs[cub.index()].power_cut(now);
+                let node = self.shared.cub_node(cub);
+                self.shared.net.fail_node(node);
+            }
+            Event::FailController => {
+                let node = self.shared.controller_node();
+                self.shared.net.fail_node(node);
+                if self.shared.cfg.backup_controller {
+                    self.shared.queue.schedule_in(
+                        self.shared.cfg.controller_failover_timeout,
+                        Event::PromoteBackup,
+                    );
+                }
+            }
+            Event::PromoteBackup => {
+                if !self.promoted {
+                    self.promoted = true;
+                    // The mirrored state becomes authoritative and clients
+                    // are re-pointed at the backup's address.
+                    self.controller = std::mem::take(&mut self.backup);
+                    self.active_controller = self
+                        .shared
+                        .backup_controller_node()
+                        .expect("promotion requires a configured backup");
+                }
+            }
+            Event::ClientStart {
+                client,
+                file,
+                from_block,
+                instance,
+            } => {
+                self.on_client_start(now, client, file, from_block, instance);
+            }
+            Event::ClientStop { instance } => self.on_client_stop(now, instance),
+            Event::ClientResume { instance } => self.on_client_resume(now, instance),
+            Event::ClientSeek { instance, to_block } => {
+                self.on_client_seek(now, instance, to_block);
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, now: SimTime, dst: NetNode, msg: Message) {
+        let num_cubs = self.shared.cfg.stripe.num_cubs;
+        if dst == self.shared.controller_node() {
+            self.on_controller_message(now, msg);
+        } else if Some(dst) == self.shared.backup_controller_node() {
+            self.on_backup_message(now, msg);
+        } else if dst.raw() >= 1 && dst.raw() <= num_cubs {
+            let cub = CubId(dst.raw() - 1);
+            self.cubs[cub.index()].on_message(&mut self.shared, now, msg);
+        } else {
+            let client = dst.raw() - 1 - num_cubs;
+            self.on_client_message(now, client, msg);
+        }
+    }
+
+    /// The backup controller: before promotion it only mirrors state;
+    /// after promotion it runs the full controller logic.
+    fn on_backup_message(&mut self, now: SimTime, msg: Message) {
+        if self.promoted {
+            return self.on_controller_message(now, msg);
+        }
+        match msg {
+            Message::StartRequest {
+                client,
+                instance,
+                file,
+                requested_at,
+                ..
+            } => {
+                self.backup
+                    .on_start_request(instance, file, client, requested_at);
+            }
+            Message::InsertCommitted {
+                instance,
+                slot,
+                first_send,
+                ..
+            } => {
+                self.backup.on_insert_committed(instance, slot, first_send);
+            }
+            Message::StopRequest { instance } => {
+                let _ = self
+                    .backup
+                    .on_stop_request(instance, &self.shared.params, now);
+            }
+            Message::ViewerFinished { instance } => {
+                self.backup.on_viewer_finished(instance);
+            }
+            Message::FailureNotice { failed } => {
+                self.controller_believes_failed[failed.index()] = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_controller_message(&mut self, now: SimTime, msg: Message) {
+        match msg {
+            Message::StartRequest {
+                client,
+                instance,
+                file,
+                from_block,
+                requested_at,
+            } => {
+                // Admission control (disabled for the §5 tests).
+                if let Some(limit) = self.shared.cfg.admission_limit {
+                    let cap = f64::from(self.shared.params.capacity());
+                    if f64::from(self.controller.active_streams()) >= limit * cap {
+                        return; // Rejected; the client never starts.
+                    }
+                }
+                if !self
+                    .controller
+                    .on_start_request(instance, file, client, requested_at)
+                {
+                    return; // Duplicate.
+                }
+                let Some(loc) = self
+                    .shared
+                    .catalog
+                    .locate(file, tiger_layout::BlockNum(from_block))
+                else {
+                    return;
+                };
+                let stripe = self.shared.params.stripe();
+                let primary_cub = stripe.cub_of(loc.disk);
+                let primary = self.routed_target(primary_cub);
+                let redundant = self.next_living_for_controller(primary);
+                let ctrl = self.active_controller;
+                let route = |redundant_flag: bool| Message::RoutedStart {
+                    client,
+                    instance,
+                    file,
+                    from_block,
+                    requested_at,
+                    redundant: redundant_flag,
+                };
+                let primary_node = self.shared.cub_node(primary);
+                self.shared
+                    .send_control(now, ctrl, primary_node, route(false));
+                if let Some(r) = redundant {
+                    let r_node = self.shared.cub_node(r);
+                    self.shared.send_control(now, ctrl, r_node, route(true));
+                }
+            }
+            Message::StopRequest { instance } => {
+                if let Some((slot, cub)) =
+                    self.controller
+                        .on_stop_request(instance, &self.shared.params, now)
+                {
+                    if let Some(omni) = self.shared.omniscient.as_mut() {
+                        omni.on_remove(slot, instance, now);
+                    }
+                    let hops = self.deschedule_hops();
+                    let request = Deschedule { instance, slot };
+                    let ctrl = self.active_controller;
+                    let target = self.routed_target(cub);
+                    let target_node = self.shared.cub_node(target);
+                    self.shared.send_control(
+                        now,
+                        ctrl,
+                        target_node,
+                        Message::Deschedule {
+                            request,
+                            hops_left: hops,
+                        },
+                    );
+                    if let Some(succ) = self.next_living_for_controller(target) {
+                        let succ_node = self.shared.cub_node(succ);
+                        self.shared.send_control(
+                            now,
+                            ctrl,
+                            succ_node,
+                            Message::Deschedule {
+                                request,
+                                hops_left: hops,
+                            },
+                        );
+                    }
+                }
+            }
+            Message::InsertCommitted {
+                instance,
+                slot,
+                first_send,
+                ..
+            } => {
+                self.controller
+                    .on_insert_committed(instance, slot, first_send);
+            }
+            Message::ViewerFinished { instance } => {
+                if let Some(rec) = self.controller.viewer(&instance) {
+                    if let (Some(slot), Some(omni)) = (rec.slot, self.shared.omniscient.as_mut()) {
+                        omni.on_remove(slot, instance, now);
+                    }
+                }
+                self.controller.on_viewer_finished(instance);
+            }
+            Message::FailureNotice { failed } => {
+                self.controller_believes_failed[failed.index()] = true;
+            }
+            other => {
+                debug_assert!(false, "controller received unexpected message: {other:?}");
+            }
+        }
+    }
+
+    /// The first living cub at or after `cub`, per the controller's beliefs.
+    fn routed_target(&self, cub: CubId) -> CubId {
+        let n = self.shared.cfg.stripe.num_cubs;
+        (0..n)
+            .map(|i| CubId((cub.raw() + i) % n))
+            .find(|c| !self.controller_believes_failed[c.index()])
+            .unwrap_or(cub)
+    }
+
+    fn next_living_for_controller(&self, from: CubId) -> Option<CubId> {
+        let n = self.shared.cfg.stripe.num_cubs;
+        (1..n)
+            .map(|i| CubId((from.raw() + i) % n))
+            .find(|c| !self.controller_believes_failed[c.index()])
+    }
+
+    /// §4.1.2: deschedules propagate "until they're more than maxVStateLead
+    /// in front of the slot being descheduled".
+    fn deschedule_hops(&self) -> u32 {
+        let cfg = &self.shared.cfg;
+        let lead_cubs = (cfg.max_vstate_lead.as_nanos() + cfg.deschedule_hold.as_nanos())
+            .div_ceil(cfg.block_play_time.as_nanos()) as u32;
+        (lead_cubs + 2).min(cfg.stripe.num_cubs)
+    }
+
+    fn on_client_message(&mut self, now: SimTime, client: u32, msg: Message) {
+        let Message::StreamData {
+            instance,
+            block,
+            piece,
+            total_pieces,
+            ..
+        } = msg
+        else {
+            debug_assert!(false, "client received unexpected message: {msg:?}");
+            return;
+        };
+        let c = &mut self.clients[client as usize];
+        let had_first = c
+            .viewer(&instance)
+            .is_some_and(|v| v.first_block_at.is_some());
+        c.on_stream_data(instance, block, piece, total_pieces, now);
+        if !had_first {
+            if let Some(v) = c.viewer(&instance) {
+                if let (Some(latency), false) = (v.start_latency_secs(), v.first_block_at.is_none())
+                {
+                    self.shared.metrics.record_start(v.load_at_request, latency);
+                }
+            }
+        }
+    }
+
+    fn on_client_start(
+        &mut self,
+        now: SimTime,
+        client: u32,
+        file: FileId,
+        from_block: u32,
+        instance: ViewerInstance,
+    ) {
+        let Some(meta) = self.shared.catalog.get(file).copied() else {
+            return;
+        };
+        if from_block >= meta.num_blocks {
+            return; // Nothing to play.
+        }
+        let load =
+            f64::from(self.controller.active_streams()) / f64::from(self.shared.params.capacity());
+        self.clients[client as usize].on_request(
+            instance,
+            file,
+            meta.num_blocks,
+            from_block,
+            now,
+            load,
+        );
+        let node = self.shared.client_node(client);
+        self.shared.send_to_controllers(
+            now,
+            node,
+            Message::StartRequest {
+                client: node.raw(),
+                instance,
+                file,
+                from_block,
+                requested_at: now,
+            },
+        );
+    }
+
+    /// Finds which client machine holds `instance`.
+    fn client_of(&self, instance: &ViewerInstance) -> Option<u32> {
+        (0..self.clients.len() as u32)
+            .find(|&i| self.clients[i as usize].viewer(instance).is_some())
+    }
+
+    fn on_client_resume(&mut self, now: SimTime, instance: ViewerInstance) {
+        let Some(client) = self.client_of(&instance) else {
+            return;
+        };
+        let (file, resume_at) = {
+            let v = self.clients[client as usize]
+                .viewer(&instance)
+                .expect("client_of found it");
+            let next = v.high_water.map_or(v.base_block, |h| h + 1);
+            (v.file, next)
+        };
+        let resumed = ViewerInstance {
+            viewer: instance.viewer,
+            incarnation: instance.incarnation + 1,
+        };
+        self.on_client_start(now, client, file, resume_at, resumed);
+    }
+
+    fn on_client_seek(&mut self, now: SimTime, instance: ViewerInstance, to_block: u32) {
+        let Some(client) = self.client_of(&instance) else {
+            return;
+        };
+        let file = self.clients[client as usize]
+            .viewer(&instance)
+            .expect("client_of found it")
+            .file;
+        // Stop the old instance (idempotent if already gone) …
+        self.on_client_stop(now, instance);
+        // … and start the new incarnation at the target block.
+        let moved = ViewerInstance {
+            viewer: instance.viewer,
+            incarnation: instance.incarnation + 1,
+        };
+        self.on_client_start(now, client, file, to_block, moved);
+    }
+
+    fn on_client_stop(&mut self, now: SimTime, instance: ViewerInstance) {
+        // Find the owning client to mark it stopped.
+        for c in &mut self.clients {
+            if c.viewer(&instance).is_some() {
+                c.on_stopped(instance);
+            }
+        }
+        let rec = self
+            .controller
+            .viewer(&instance)
+            .or_else(|| self.backup.viewer(&instance));
+        let Some(rec) = rec else {
+            return; // Already finished or never started.
+        };
+        let node = NetNode(rec.client);
+        self.shared
+            .send_to_controllers(now, node, Message::StopRequest { instance });
+    }
+
+    // --- Reporting -----------------------------------------------------------
+
+    /// Access to the shared state (tests and experiment drivers).
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Mutable access to the shared state (experiment drivers).
+    pub fn shared_mut(&mut self) -> &mut Shared {
+        &mut self.shared
+    }
+
+    /// The cubs (read-only).
+    pub fn cubs(&self) -> &[Cub] {
+        &self.cubs
+    }
+
+    /// The controller (read-only).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Aggregate report for one client machine.
+    pub fn client_report(&self, client: u32) -> ClientReport {
+        self.clients[client as usize].report()
+    }
+
+    /// Aggregate report across all clients.
+    pub fn all_clients_report(&self) -> ClientReport {
+        let mut total = ClientReport::default();
+        for c in &self.clients {
+            let r = c.report();
+            total.completed_viewers += r.completed_viewers;
+            total.stopped_viewers += r.stopped_viewers;
+            total.never_started += r.never_started;
+            total.blocks_received += r.blocks_received;
+            total.blocks_missing += r.blocks_missing;
+        }
+        total
+    }
+
+    /// The clients (read-only).
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Rebuilds this system's content on a new hardware configuration
+    /// (§2.2 restriping). Restriping is an offline operation: all viewers
+    /// stop, the mover plan is computed and "executed" (its duration
+    /// estimated from the plan and the hardware rates), and a fresh system
+    /// comes up with every file re-laid-out on the new geometry.
+    ///
+    /// Returns the new system and the executed plan.
+    pub fn restripe_into(
+        self,
+        new_stripe: tiger_layout::StripeConfig,
+    ) -> (TigerSystem, tiger_layout::RestripePlan) {
+        let old_stripe = self.shared.cfg.stripe;
+        let plan = tiger_layout::RestripePlan::plan(&self.shared.catalog, old_stripe, new_stripe);
+        let mut cfg = self.shared.cfg.clone();
+        cfg.stripe = new_stripe;
+        let mut sys = TigerSystem::new(cfg);
+        // Reload the catalog in file order so ids are preserved.
+        for meta in self.shared.catalog.files() {
+            let duration = self
+                .shared
+                .cfg
+                .block_play_time
+                .mul_u64(u64::from(meta.num_blocks));
+            let id = sys.add_file(meta.bitrate, duration);
+            debug_assert_eq!(id, meta.id, "file ids must survive a restripe");
+        }
+        (sys, plan)
+    }
+
+    /// Finalizes and returns the omniscient checker's violations, merging
+    /// them into the metrics.
+    pub fn take_violations(&mut self) -> Vec<String> {
+        let mut v = self.shared.metrics.violations.clone();
+        if let Some(omni) = &self.shared.omniscient {
+            v.extend(omni.violations().iter().cloned());
+        }
+        v
+    }
+
+    /// Closes a measurement window at `now`: computes the Figure 8/9 row
+    /// (loads, control traffic) and starts a fresh window.
+    ///
+    /// `report_cub` selects the cub whose control traffic is plotted and,
+    /// if `disk_report_cub` is set, whose disks' load is reported (the
+    /// failed-mode test reports a mirroring cub's disks).
+    pub fn sample_window(
+        &mut self,
+        now: SimTime,
+        report_cub: CubId,
+        disk_report_cub: Option<CubId>,
+    ) -> WindowSample {
+        let mut cub_cpu_sum = 0.0;
+        let mut living = 0u32;
+        for cub in &self.cubs {
+            if cub.failed {
+                continue;
+            }
+            living += 1;
+            let node = self.shared.cub_node(cub.id);
+            let bytes = self.shared.net.nic(node).window_bytes_per_sec(now);
+            let ios: f64 = cub
+                .disks()
+                .iter()
+                .map(|d| d.window_reads_per_sec(now))
+                .sum();
+            let msgs = self.shared.net.control_msg_rate(now, node) + cub.msgs_processed_rate(now);
+            cub_cpu_sum += self.cpu.cub_load(bytes, ios, msgs);
+        }
+        // NIC utilization is reported for the selected cub, matching the
+        // paper's per-cub send-rate quotes (a mirroring cub in the failed
+        // test).
+        let report_node_for_nic = self.shared.cub_node(report_cub);
+        let nic_util = self
+            .shared
+            .net
+            .nic_mut(report_node_for_nic)
+            .window_utilization(now);
+        let controller_cpu = self.cpu.controller_load(
+            self.controller.request_rate(now),
+            self.shared
+                .net
+                .control_msg_rate(now, self.shared.controller_node()),
+        );
+        let disk_load = {
+            let cubs: Vec<&Cub> = match disk_report_cub {
+                Some(c) => vec![&self.cubs[c.index()]],
+                None => self.cubs.iter().filter(|c| !c.failed).collect(),
+            };
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for cub in cubs {
+                for d in cub.disks() {
+                    if !d.is_failed() {
+                        sum += d.load_window(now);
+                        n += 1;
+                    }
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum / f64::from(n)
+            }
+        };
+        let report_node = self.shared.cub_node(report_cub);
+        let sample = WindowSample {
+            at: now,
+            streams: self.controller.active_streams(),
+            cub_cpu: if living == 0 {
+                0.0
+            } else {
+                cub_cpu_sum / f64::from(living)
+            },
+            controller_cpu,
+            disk_load,
+            control_bytes_per_sec: self.shared.net.control_rate(now, report_node),
+            nic_utilization: nic_util,
+        };
+        self.shared.metrics.windows.push(sample.clone());
+        self.reset_windows(now);
+        sample
+    }
+
+    fn reset_windows(&mut self, now: SimTime) {
+        self.window_start = now;
+        self.shared.net.reset_windows(now);
+        self.controller.reset_window(now);
+        for cub in &mut self.cubs {
+            cub.reset_window(now);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Controller fault tolerance — the paper's stated future work.
+//!
+//! §2.3: "While the Tiger controller is a single point of failure in the
+//! current implementation, the distributed schedule work described in this
+//! paper removes the major function that the controller in a centralized
+//! Tiger system would have. The Netshow product group plans on making the
+//! remaining functions of the controller fault tolerant."
+//!
+//! These tests verify both halves: (1) running streams never depend on the
+//! controller at all (the paper's key point); (2) a hot-standby backup
+//! restores start/stop service after the primary dies.
+
+use tiger_core::{TigerConfig, TigerSystem};
+use tiger_sim::{Bandwidth, SimDuration, SimTime};
+
+fn quiet(backup: bool) -> TigerConfig {
+    let mut cfg = TigerConfig::small_test();
+    cfg.disk = cfg.disk.without_blips();
+    cfg.backup_controller = backup;
+    cfg
+}
+
+fn rate() -> Bandwidth {
+    Bandwidth::from_mbit_per_sec(2)
+}
+
+#[test]
+fn running_streams_survive_controller_death_without_backup() {
+    // The distributed schedule's headline property: once started, a stream
+    // needs only the ring of cubs — the controller can die and nobody's
+    // video glitches.
+    let mut sys = TigerSystem::new(quiet(false));
+    let file = sys.add_file(rate(), SimDuration::from_secs(60));
+    let mut viewers = Vec::new();
+    for i in 0..10u64 {
+        let client = sys.add_client();
+        viewers.push((
+            client,
+            sys.request_start(SimTime::from_millis(100 + i * 400), client, file),
+        ));
+    }
+    sys.fail_controller_at(SimTime::from_secs(10));
+    sys.run_until(SimTime::from_secs(80));
+    for (client, v) in &viewers {
+        let p = sys.clients()[*client as usize]
+            .viewer(v)
+            .expect("viewer exists");
+        assert!(p.complete(), "a stream depended on the controller");
+        assert_eq!(p.blocks_missing(), 0);
+    }
+}
+
+#[test]
+fn without_backup_no_new_starts_after_controller_death() {
+    let mut sys = TigerSystem::new(quiet(false));
+    let file = sys.add_file(rate(), SimDuration::from_secs(30));
+    sys.fail_controller_at(SimTime::from_secs(5));
+    let client = sys.add_client();
+    let v = sys.request_start(SimTime::from_secs(10), client, file);
+    sys.run_until(SimTime::from_secs(40));
+    let p = sys.clients()[client as usize]
+        .viewer(&v)
+        .expect("registered");
+    assert!(
+        p.first_block_at.is_none(),
+        "a start succeeded with no controller and no backup"
+    );
+}
+
+#[test]
+fn backup_restores_starts_and_stops() {
+    let mut sys = TigerSystem::new(quiet(true));
+    let file = sys.add_file(rate(), SimDuration::from_secs(120));
+    // One stream started under the primary...
+    let c0 = sys.add_client();
+    let v0 = sys.request_start(SimTime::from_millis(100), c0, file);
+    // ... then the primary dies.
+    sys.fail_controller_at(SimTime::from_secs(10));
+    // A start after the failover timeout must succeed via the backup.
+    let c1 = sys.add_client();
+    let v1 = sys.request_start(SimTime::from_secs(20), c1, file);
+    // And a stop of the pre-failure stream must work too: the backup
+    // learned v0's slot from the mirrored commit notice.
+    sys.request_stop(SimTime::from_secs(40), v0);
+    sys.run_until(SimTime::from_secs(90));
+
+    let p1 = sys.clients()[c1 as usize]
+        .viewer(&v1)
+        .expect("viewer exists");
+    assert!(
+        p1.blocks_received() >= 60,
+        "post-failover start got only {} blocks",
+        p1.blocks_received()
+    );
+    let p0 = sys.clients()[c0 as usize]
+        .viewer(&v0)
+        .expect("viewer exists");
+    assert!(p0.stopped);
+    assert!(
+        p0.blocks_received() < 60,
+        "stop via the backup did not take: {} blocks delivered",
+        p0.blocks_received()
+    );
+    assert_eq!(p0.blocks_missing(), 0, "no gaps before the stop");
+}
+
+#[test]
+fn backup_also_covers_cub_failure_routing() {
+    // After promotion, the backup must route around failed cubs (it
+    // mirrors failure notices before taking over).
+    let mut cfg = quiet(true);
+    cfg.deadman_timeout = SimDuration::from_millis(1_500);
+    let mut sys = TigerSystem::new(cfg);
+    let file = sys.add_file(rate(), SimDuration::from_secs(60));
+    sys.fail_cub_at(SimTime::from_secs(5), tiger_layout::CubId(1));
+    sys.fail_controller_at(SimTime::from_secs(10));
+    let client = sys.add_client();
+    let v = sys.request_start(SimTime::from_secs(20), client, file);
+    sys.run_until(SimTime::from_secs(90));
+    let p = sys.clients()[client as usize]
+        .viewer(&v)
+        .expect("viewer exists");
+    assert!(
+        p.blocks_received() >= 50,
+        "start under backup + failed cub got {} blocks",
+        p.blocks_received()
+    );
+}

@@ -1,0 +1,23 @@
+//! Multi-zone disk drive model for the Tiger reproduction.
+//!
+//! The paper's testbed used IBM Ultrastar 2.25/4.5 GB SCSI drives whose
+//! worst-case behaviour supports "about 10.75 primary streams each" while
+//! covering for a failed peer (§5). This crate models such a drive:
+//!
+//! * **Zoned recording** (§2.3, [Ruemmler94; Van Meter97]): outer tracks
+//!   transfer faster than inner ones. Primaries live on the fast outer
+//!   half, declustered secondaries on the slow inner half.
+//! * **Seek + rotation**: a distance-dependent seek curve plus average
+//!   rotational latency and a fixed controller overhead.
+//! * **Service-time blips**: rare heavy-tailed slowdowns that reproduce the
+//!   paper's sporadic missed deadlines (15 blocks in 4.1 million sends).
+//! * **Queueing**: requests are serviced FIFO; the model separately tracks
+//!   *head utilization* (media busy) and the paper's notion of *disk load*
+//!   ("the percentage of time during which the disk was waiting for an I/O
+//!   completion", which includes queueing).
+
+pub mod model;
+pub mod profile;
+
+pub use model::{Disk, DiskError, DiskRequest, RequestKind};
+pub use profile::DiskProfile;

@@ -1,0 +1,114 @@
+//! Property tests for the disk model: FIFO completion order, service-time
+//! lower bounds, zone monotonicity, and capacity math stability.
+
+use proptest::prelude::*;
+
+use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
+use tiger_sim::{ByteSize, RngTree, SimDuration, SimTime};
+
+fn quiet_disk(seed: u64) -> Disk {
+    Disk::new(
+        DiskProfile::sosp97().without_blips(),
+        RngTree::new(seed).fork("d", 0),
+    )
+}
+
+proptest! {
+    /// Completions come back in submission order (the model is FIFO) and
+    /// strictly after their submission.
+    #[test]
+    fn completions_are_fifo(
+        reqs in proptest::collection::vec((0u64..2_000_000_000u64, 1u64..300_000), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let mut d = quiet_disk(seed);
+        let cap = d.profile().capacity.as_bytes();
+        let mut prev = SimTime::ZERO;
+        for (i, &(off, len)) in reqs.iter().enumerate() {
+            let now = SimTime::from_millis(i as u64);
+            let offset = off % (cap - len);
+            let done = d
+                .submit(now, DiskRequest {
+                    offset,
+                    len: ByteSize::from_bytes(len),
+                    kind: RequestKind::Primary,
+                })
+                .expect("in range");
+            prop_assert!(done > now, "completion not after submission");
+            prop_assert!(done > prev, "completion order violated FIFO");
+            prev = done;
+        }
+    }
+
+    /// Service time is bounded below by the pure transfer time of the
+    /// request's zone and above by full positioning plus the slowest zone.
+    #[test]
+    fn service_time_bounds(
+        off in 0u64..2_000_000_000u64,
+        len in 1u64..300_000u64,
+        seed in 0u64..1000,
+    ) {
+        let mut d = quiet_disk(seed);
+        let profile = d.profile().clone();
+        let cap = profile.capacity.as_bytes();
+        let offset = off % (cap - len);
+        let done = d
+            .submit(SimTime::ZERO, DiskRequest {
+                offset,
+                len: ByteSize::from_bytes(len),
+                kind: RequestKind::Primary,
+            })
+            .expect("in range");
+        let service = done - SimTime::ZERO;
+        let frac = offset as f64 / cap as f64;
+        let transfer = profile.rate_at(frac).time_to_move(ByteSize::from_bytes(len));
+        prop_assert!(service >= transfer, "faster than the media");
+        let worst = profile.max_seek
+            + profile.avg_rotational_latency()
+            + profile.overhead
+            + profile.rate_at(1.0).time_to_move(ByteSize::from_bytes(len));
+        prop_assert!(
+            service <= worst + SimDuration::from_nanos(1),
+            "slower than worst positioning + slowest zone"
+        );
+    }
+
+    /// Reading the same extent from a slower (inner) zone never takes less
+    /// time than from a faster (outer) zone, all else equal.
+    #[test]
+    fn inner_zones_never_beat_outer(len in 1u64..300_000u64) {
+        let profile = DiskProfile::sosp97();
+        let mut prev = SimDuration::MAX;
+        for z in 0..profile.num_zones {
+            let frac = (f64::from(z) + 0.5) / f64::from(profile.num_zones);
+            let t = profile.rate_at(frac).time_to_move(ByteSize::from_bytes(len));
+            prop_assert!(t >= SimDuration::ZERO);
+            if z > 0 {
+                prop_assert!(t >= prev, "inner zone faster than outer");
+            }
+            prev = t;
+        }
+    }
+
+    /// The worst-case read used for capacity derivation dominates any
+    /// average-seek read of the same shape within the primary region.
+    #[test]
+    fn worst_case_read_dominates_primary_region(
+        off_frac_milli in 0u64..499,
+        decl in 1u32..8,
+    ) {
+        let profile = DiskProfile::sosp97();
+        let block = ByteSize::from_bytes(250_000);
+        let worst = profile.worst_case_read(block, decl, false);
+        // An average-positioned read anywhere in the primary (outer) half:
+        let frac = off_frac_milli as f64 / 1000.0;
+        let avg = profile.avg_seek()
+            + profile.avg_rotational_latency()
+            + profile.overhead
+            + profile.rate_at(frac).time_to_move(block);
+        prop_assert!(
+            worst + SimDuration::from_nanos(1) >= avg,
+            "worst case {worst:?} beaten by primary-region read {avg:?} at {frac}"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! The file catalog: per-file metadata and block geometry (paper §2.2).
+//!
+//! "Files are broken up into blocks, which are pieces of equal duration. …
+//! The duration of a block is called the 'block play time' … The block play
+//! time is the same for every file in a particular Tiger system."
+//!
+//! In a *single bitrate* server all blocks are the same size and slower
+//! files suffer internal fragmentation; in a *multiple bitrate* server block
+//! sizes are proportional to the file bitrate (§2.2).
+
+use tiger_sim::{Bandwidth, ByteSize, SimDuration};
+
+use crate::ids::{BlockNum, DiskId, FileId};
+use crate::stripe::{BlockLocation, StripeConfig};
+
+/// Metadata for one content file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// The file's id.
+    pub id: FileId,
+    /// The encoded bitrate of the content.
+    pub bitrate: Bandwidth,
+    /// Number of blocks in the file.
+    pub num_blocks: u32,
+    /// On-disk size of each block (includes internal fragmentation in a
+    /// single-bitrate system).
+    pub block_size: ByteSize,
+    /// Bytes of each block that carry content (`<= block_size`).
+    pub payload_size: ByteSize,
+    /// Disk holding block 0.
+    pub start_disk: DiskId,
+}
+
+impl FileMeta {
+    /// Bytes wasted per block to internal fragmentation.
+    pub fn fragmentation_per_block(&self) -> ByteSize {
+        self.block_size - self.payload_size
+    }
+
+    /// Total on-disk primary bytes for this file.
+    pub fn primary_bytes(&self) -> ByteSize {
+        self.block_size.mul_u64(u64::from(self.num_blocks))
+    }
+}
+
+/// Whether the server sizes blocks for one fixed bitrate or per-file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BitrateMode {
+    /// All blocks sized for `max_bitrate`; slower files fragment internally.
+    Single,
+    /// Block sizes proportional to each file's bitrate.
+    Multiple,
+}
+
+/// The system-wide file catalog.
+///
+/// The catalog is replicated metadata: every cub and the controller hold an
+/// identical copy (it is small — one record per file — and changes only on
+/// content add/remove, not per-viewer).
+#[derive(Clone, Debug)]
+pub struct FileCatalog {
+    cfg: StripeConfig,
+    block_play_time: SimDuration,
+    max_bitrate: Bandwidth,
+    mode: BitrateMode,
+    files: Vec<FileMeta>,
+}
+
+impl FileCatalog {
+    /// Creates an empty catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_play_time` is zero or `max_bitrate` is zero.
+    pub fn new(
+        cfg: StripeConfig,
+        block_play_time: SimDuration,
+        max_bitrate: Bandwidth,
+        mode: BitrateMode,
+    ) -> Self {
+        assert!(
+            !block_play_time.is_zero(),
+            "block play time must be nonzero"
+        );
+        assert!(!max_bitrate.is_zero(), "max bitrate must be nonzero");
+        FileCatalog {
+            cfg,
+            block_play_time,
+            max_bitrate,
+            mode,
+            files: Vec::new(),
+        }
+    }
+
+    /// The striping configuration this catalog lays files out for.
+    pub fn stripe_config(&self) -> StripeConfig {
+        self.cfg
+    }
+
+    /// The system block play time.
+    pub fn block_play_time(&self) -> SimDuration {
+        self.block_play_time
+    }
+
+    /// The configured maximum bitrate.
+    pub fn max_bitrate(&self) -> Bandwidth {
+        self.max_bitrate
+    }
+
+    /// The bitrate mode.
+    pub fn mode(&self) -> BitrateMode {
+        self.mode
+    }
+
+    /// Adds a file of the given bitrate and play duration; returns its id.
+    ///
+    /// The number of blocks is `ceil(duration / block_play_time)` (the last
+    /// block may be partially filled). The starting disk is chosen by the
+    /// stripe config's deterministic hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitrate` exceeds the configured maximum, or if the file is
+    /// empty.
+    pub fn add_file(&mut self, bitrate: Bandwidth, duration: SimDuration) -> FileId {
+        assert!(
+            bitrate <= self.max_bitrate,
+            "file bitrate {bitrate} exceeds system maximum {}",
+            self.max_bitrate
+        );
+        assert!(!bitrate.is_zero(), "file bitrate must be nonzero");
+        assert!(!duration.is_zero(), "file duration must be nonzero");
+        let id = FileId(self.files.len() as u32);
+        let num_blocks = u32::try_from(
+            duration
+                .as_nanos()
+                .div_ceil(self.block_play_time.as_nanos()),
+        )
+        .expect("file too long");
+        let payload_size = bitrate.bytes_in(self.block_play_time);
+        let block_size = match self.mode {
+            BitrateMode::Single => self.max_bitrate.bytes_in(self.block_play_time),
+            BitrateMode::Multiple => payload_size,
+        };
+        let meta = FileMeta {
+            id,
+            bitrate,
+            num_blocks,
+            block_size,
+            payload_size,
+            start_disk: self.cfg.starting_disk(id),
+        };
+        self.files.push(meta);
+        id
+    }
+
+    /// Looks up a file's metadata.
+    pub fn get(&self, file: FileId) -> Option<&FileMeta> {
+        self.files.get(file.index())
+    }
+
+    /// All files in the catalog.
+    pub fn files(&self) -> &[FileMeta] {
+        &self.files
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if the catalog has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// The primary location of `block` of `file`, or `None` for an unknown
+    /// file or out-of-range block.
+    pub fn locate(&self, file: FileId, block: BlockNum) -> Option<BlockLocation> {
+        let meta = self.get(file)?;
+        (block.raw() < meta.num_blocks).then(|| self.cfg.block_location(meta.start_disk, block))
+    }
+
+    /// Total primary bytes across all files.
+    pub fn total_primary_bytes(&self) -> ByteSize {
+        self.files
+            .iter()
+            .fold(ByteSize::ZERO, |acc, f| acc + f.primary_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sosp_catalog(mode: BitrateMode) -> FileCatalog {
+        FileCatalog::new(
+            StripeConfig::new(14, 4, 4),
+            SimDuration::from_secs(1),
+            Bandwidth::from_mbit_per_sec(2),
+            mode,
+        )
+    }
+
+    #[test]
+    fn one_hour_file_has_3600_blocks() {
+        let mut c = sosp_catalog(BitrateMode::Single);
+        let f = c.add_file(
+            Bandwidth::from_mbit_per_sec(2),
+            SimDuration::from_secs(3600),
+        );
+        let meta = c.get(f).expect("file exists");
+        assert_eq!(meta.num_blocks, 3600);
+        // 2 Mbit/s for 1 s = 250,000 bytes (decimal Mbit).
+        assert_eq!(meta.block_size.as_bytes(), 250_000);
+        assert_eq!(meta.fragmentation_per_block().as_bytes(), 0);
+    }
+
+    #[test]
+    fn partial_trailing_block_rounds_up() {
+        let mut c = sosp_catalog(BitrateMode::Single);
+        let f = c.add_file(
+            Bandwidth::from_mbit_per_sec(2),
+            SimDuration::from_millis(2500),
+        );
+        assert_eq!(c.get(f).expect("exists").num_blocks, 3);
+    }
+
+    #[test]
+    fn single_bitrate_fragments_slow_files() {
+        let mut c = sosp_catalog(BitrateMode::Single);
+        let f = c.add_file(Bandwidth::from_mbit_per_sec(1), SimDuration::from_secs(10));
+        let meta = c.get(f).expect("exists");
+        assert_eq!(meta.block_size.as_bytes(), 250_000);
+        assert_eq!(meta.payload_size.as_bytes(), 125_000);
+        assert_eq!(meta.fragmentation_per_block().as_bytes(), 125_000);
+    }
+
+    #[test]
+    fn multiple_bitrate_sizes_blocks_proportionally() {
+        let mut c = sosp_catalog(BitrateMode::Multiple);
+        let f1 = c.add_file(Bandwidth::from_mbit_per_sec(1), SimDuration::from_secs(10));
+        let f2 = c.add_file(Bandwidth::from_mbit_per_sec(2), SimDuration::from_secs(10));
+        let b1 = c.get(f1).expect("exists").block_size.as_bytes();
+        let b2 = c.get(f2).expect("exists").block_size.as_bytes();
+        assert_eq!(b2, 2 * b1);
+        assert_eq!(
+            c.get(f1)
+                .expect("exists")
+                .fragmentation_per_block()
+                .as_bytes(),
+            0
+        );
+    }
+
+    #[test]
+    fn locate_walks_the_stripe() {
+        let mut c = sosp_catalog(BitrateMode::Single);
+        let f = c.add_file(
+            Bandwidth::from_mbit_per_sec(2),
+            SimDuration::from_secs(3600),
+        );
+        let start = c.get(f).expect("exists").start_disk;
+        let loc0 = c.locate(f, BlockNum(0)).expect("in range");
+        let loc1 = c.locate(f, BlockNum(1)).expect("in range");
+        assert_eq!(loc0.disk, start);
+        assert_eq!(loc1.disk, c.stripe_config().disk_after(start, 1));
+        assert_eq!(c.locate(f, BlockNum(3600)), None);
+        assert_eq!(c.locate(FileId(99), BlockNum(0)), None);
+    }
+
+    #[test]
+    fn sosp_capacity_sixtyfour_hours() {
+        // §5: "capable of storing slightly more than 64 hours of content at
+        // 2 Mbit/s" on 56 × 2.5 GB disks (primaries use half of each disk).
+        let mut c = sosp_catalog(BitrateMode::Single);
+        for _ in 0..64 {
+            c.add_file(
+                Bandwidth::from_mbit_per_sec(2),
+                SimDuration::from_secs(3600),
+            );
+        }
+        let total = c.total_primary_bytes();
+        // 64 h at 2 Mbit/s = 57.6 GB of primary content, which fits in half
+        // of 56 × 2.5 GB = 70 GB with mirrors in the other half.
+        assert_eq!(total.as_bytes(), 64 * 3600 * 250_000);
+        assert!(total.as_bytes() <= 56 * 2_500_000_000 / 2 * 10 / 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds system maximum")]
+    fn overfast_file_rejected() {
+        let mut c = sosp_catalog(BitrateMode::Single);
+        c.add_file(Bandwidth::from_mbit_per_sec(3), SimDuration::from_secs(10));
+    }
+}

@@ -1,0 +1,84 @@
+//! Control-message latency model.
+
+use rand::Rng;
+
+use tiger_sim::SimDuration;
+
+/// One-way latency for control messages: a fixed base plus uniform jitter.
+///
+/// The defaults model a lightly loaded local ATM switch path through two
+/// protocol stacks on 1997-era machines: a few milliseconds, occasionally
+/// more. The jitter bound matters: the single-bitrate insertion protocol is
+/// only correct if worst-case latency stays below one block play time, and
+/// [`LatencyModel::worst_case`] is what the schedule code checks against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Minimum one-way latency.
+    pub base: SimDuration,
+    /// Maximum additional uniform jitter.
+    pub jitter: SimDuration,
+}
+
+impl LatencyModel {
+    /// The default testbed-like model: 2 ms base, up to 8 ms jitter.
+    pub fn lan_default() -> Self {
+        LatencyModel {
+            base: SimDuration::from_millis(2),
+            jitter: SimDuration::from_millis(8),
+        }
+    }
+
+    /// A model with zero jitter, for deterministic protocol tests.
+    pub fn fixed(latency: SimDuration) -> Self {
+        LatencyModel {
+            base: latency,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        self.base + SimDuration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()))
+    }
+
+    /// The largest latency the model can produce.
+    pub fn worst_case(&self) -> SimDuration {
+        self.base + self.jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_sim::RngTree;
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let m = LatencyModel::lan_default();
+        let mut rng = RngTree::new(9).fork("lat", 0);
+        for _ in 0..10_000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= m.base && s <= m.worst_case());
+        }
+    }
+
+    #[test]
+    fn fixed_model_is_deterministic() {
+        let m = LatencyModel::fixed(SimDuration::from_millis(5));
+        let mut rng = RngTree::new(9).fork("lat", 1);
+        assert_eq!(m.sample(&mut rng), SimDuration::from_millis(5));
+        assert_eq!(m.worst_case(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let m = LatencyModel::lan_default();
+        let mut rng = RngTree::new(9).fork("lat", 2);
+        let first = m.sample(&mut rng);
+        let varied = (0..100).any(|_| m.sample(&mut rng) != first);
+        assert!(varied);
+    }
+}

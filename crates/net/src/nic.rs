@@ -1,0 +1,171 @@
+//! A network interface card carrying paced stream sends.
+//!
+//! Tiger transmits each block paced at the stream's bitrate over one block
+//! play time (Figure 4). A NIC therefore carries a *set of concurrent
+//! rates*; its instantaneous load is their sum, and it overcommits when
+//! that sum exceeds its capacity — exactly the condition the network
+//! schedule exists to prevent.
+
+use tiger_sim::{Bandwidth, Counter, SimTime, TimeWeightedMean};
+
+/// One node's network interface.
+#[derive(Debug)]
+pub struct Nic {
+    capacity: Bandwidth,
+    active: Bandwidth,
+    active_sends: u32,
+    utilization: TimeWeightedMean,
+    bytes_sent: Counter,
+    overcommit_events: Counter,
+}
+
+impl Nic {
+    /// Creates an idle NIC with the given send capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: Bandwidth) -> Self {
+        assert!(!capacity.is_zero(), "NIC capacity must be nonzero");
+        Nic {
+            capacity,
+            active: Bandwidth::ZERO,
+            active_sends: 0,
+            utilization: TimeWeightedMean::new(0.0),
+            bytes_sent: Counter::new(),
+            overcommit_events: Counter::new(),
+        }
+    }
+
+    /// The configured send capacity.
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// Begins a paced send at `rate`. Returns `false` if this send pushed
+    /// the NIC into overcommit (the send still proceeds; quality degrades,
+    /// which the caller reports as a late/lost block).
+    pub fn begin_send(&mut self, now: SimTime, rate: Bandwidth) -> bool {
+        self.active = self.active.saturating_add(rate);
+        self.active_sends += 1;
+        self.utilization.set(now, self.load_fraction());
+        let ok = self.active <= self.capacity;
+        if !ok {
+            self.overcommit_events.incr();
+        }
+        ok
+    }
+
+    /// Ends a paced send begun with [`Nic::begin_send`], crediting the
+    /// bytes that were moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no send is active.
+    pub fn end_send(&mut self, now: SimTime, rate: Bandwidth, bytes: u64) {
+        assert!(self.active_sends > 0, "end_send without begin_send");
+        self.active_sends -= 1;
+        self.active = self
+            .active
+            .checked_sub(rate)
+            .expect("ending a send at a higher rate than was started");
+        self.utilization.set(now, self.load_fraction());
+        self.bytes_sent.add(bytes);
+    }
+
+    /// The instantaneous load as a fraction of capacity (may exceed 1 when
+    /// overcommitted).
+    pub fn load_fraction(&self) -> f64 {
+        self.active.bits_per_sec() as f64 / self.capacity.bits_per_sec() as f64
+    }
+
+    /// The sum of active send rates.
+    pub fn active_rate(&self) -> Bandwidth {
+        self.active
+    }
+
+    /// Number of sends currently in progress.
+    pub fn active_sends(&self) -> u32 {
+        self.active_sends
+    }
+
+    /// Time-weighted mean load over the current measurement window.
+    pub fn window_utilization(&mut self, now: SimTime) -> f64 {
+        self.utilization.window_mean(now)
+    }
+
+    /// Bytes sent per second over the current window.
+    pub fn window_bytes_per_sec(&self, now: SimTime) -> f64 {
+        self.bytes_sent.window_rate(now)
+    }
+
+    /// Starts a fresh measurement window.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.utilization.reset_window(now);
+        self.bytes_sent.reset_window(now);
+    }
+
+    /// Lifetime bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.total()
+    }
+
+    /// Lifetime count of sends that began while overcommitted.
+    pub fn total_overcommits(&self) -> u64 {
+        self.overcommit_events.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_sim::SimDuration;
+
+    fn oc3() -> Nic {
+        // OC-3 payload capacity, roughly.
+        Nic::new(Bandwidth::from_mbit_per_sec(135))
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut nic = oc3();
+        let rate = Bandwidth::from_mbit_per_sec(2);
+        for i in 0..67 {
+            assert!(nic.begin_send(SimTime::ZERO, rate), "send {i} fits");
+        }
+        // 68th stream exceeds 135 Mbit/s.
+        assert!(!nic.begin_send(SimTime::ZERO, rate));
+        assert_eq!(nic.total_overcommits(), 1);
+        assert!(nic.load_fraction() > 1.0);
+    }
+
+    #[test]
+    fn utilization_integrates_over_time() {
+        let mut nic = Nic::new(Bandwidth::from_mbit_per_sec(100));
+        let rate = Bandwidth::from_mbit_per_sec(50);
+        nic.begin_send(SimTime::ZERO, rate);
+        nic.end_send(SimTime::from_secs(1), rate, 6_250_000);
+        // Load was 0.5 for 1 s then 0 for 1 s: mean 0.25 over 2 s.
+        assert!((nic.window_utilization(SimTime::from_secs(2)) - 0.25).abs() < 1e-9);
+        assert_eq!(nic.total_bytes(), 6_250_000);
+    }
+
+    #[test]
+    fn window_rate_resets() {
+        let mut nic = oc3();
+        let rate = Bandwidth::from_mbit_per_sec(2);
+        nic.begin_send(SimTime::ZERO, rate);
+        nic.end_send(SimTime::from_secs(1), rate, 250_000);
+        nic.reset_window(SimTime::from_secs(10));
+        assert_eq!(nic.window_bytes_per_sec(SimTime::from_secs(11)), 0.0);
+        assert_eq!(nic.total_bytes(), 250_000);
+        let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    #[should_panic(expected = "end_send without begin_send")]
+    fn unbalanced_end_panics() {
+        let mut nic = oc3();
+        nic.end_send(SimTime::ZERO, Bandwidth::from_mbit_per_sec(2), 0);
+    }
+}

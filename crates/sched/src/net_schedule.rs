@@ -1,0 +1,475 @@
+//! The two-dimensional network schedule of the multiple-bitrate system
+//! (§3.2, §4.2).
+//!
+//! "The x-axis is time and the y-axis bandwidth. The overall length of the
+//! schedule is the block play time times the number of cubs, while the
+//! height is the bandwidth of a cub's network interface cards. The length
+//! of an entry in the network schedule is one block play time, and the
+//! height is determined by the bitrate of the stream being serviced."
+//!
+//! Entries may be *tentative* (two-phase insertion, §4.2): a reservation
+//! blocks capacity but does no work until committed; an abort releases it.
+//!
+//! Fragmentation (§3.2): free bandwidth can become unusable when gaps in
+//! the time axis are shorter than one block play time. The paper's fix —
+//! "viewers are forced to start at times that are integral multiples of
+//! the block play time divided by the decluster factor" — is modelled by
+//! the quantized-starts insertion mode, and
+//! [`NetworkSchedule::fragmentation`] measures the waste either way.
+
+use std::collections::HashMap;
+
+use tiger_layout::ids::ViewerInstance;
+use tiger_sim::{Bandwidth, SimDuration};
+
+/// Identifier of a network-schedule entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NetEntryId(pub u64);
+
+/// Errors from network-schedule operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetScheduleError {
+    /// Admitting the entry would exceed NIC capacity somewhere in its span.
+    Overflow,
+    /// The start position is not on the required quantization grid.
+    UnalignedStart,
+    /// Unknown entry id.
+    UnknownEntry(NetEntryId),
+}
+
+impl std::fmt::Display for NetScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetScheduleError::Overflow => write!(f, "insertion would exceed NIC capacity"),
+            NetScheduleError::UnalignedStart => {
+                write!(f, "start position not on the quantization grid")
+            }
+            NetScheduleError::UnknownEntry(id) => write!(f, "unknown entry {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetScheduleError {}
+
+#[derive(Clone, Copy, Debug)]
+struct NetEntry {
+    instance: ViewerInstance,
+    /// Ring position where the entry's block play time span begins.
+    start: SimDuration,
+    rate: Bandwidth,
+    tentative: bool,
+}
+
+/// One cub's picture of the network schedule ring.
+#[derive(Clone, Debug)]
+pub struct NetworkSchedule {
+    /// Ring length: block play time × number of cubs.
+    len: SimDuration,
+    /// Entry duration: one block play time.
+    bpt: SimDuration,
+    /// NIC capacity (the schedule's height).
+    capacity: Bandwidth,
+    /// Start-position quantum; `None` allows arbitrary starts.
+    quantum: Option<SimDuration>,
+    entries: HashMap<NetEntryId, NetEntry>,
+    next_id: u64,
+}
+
+impl NetworkSchedule {
+    /// Creates an empty schedule ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or `bpt` does not divide `len`.
+    pub fn new(
+        num_cubs: u32,
+        bpt: SimDuration,
+        capacity: Bandwidth,
+        quantum: Option<SimDuration>,
+    ) -> Self {
+        assert!(num_cubs > 0 && !bpt.is_zero() && !capacity.is_zero());
+        if let Some(q) = quantum {
+            assert!(
+                !q.is_zero() && bpt.as_nanos() % q.as_nanos() == 0,
+                "quantum must divide the block play time"
+            );
+        }
+        NetworkSchedule {
+            len: bpt.mul_u64(u64::from(num_cubs)),
+            bpt,
+            capacity,
+            quantum,
+            entries: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Ring length.
+    pub fn len_duration(&self) -> SimDuration {
+        self.len
+    }
+
+    /// NIC capacity (schedule height).
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// The start-position quantum, if insertion is quantized.
+    pub fn quantum(&self) -> Option<SimDuration> {
+        self.quantum
+    }
+
+    fn ring_dist(&self, from: SimDuration, to: SimDuration) -> SimDuration {
+        let l = self.len.as_nanos();
+        SimDuration::from_nanos((to.as_nanos() + l - from.as_nanos()) % l)
+    }
+
+    /// Instantaneous load at ring position `pos`, counting tentative
+    /// entries (a reservation blocks capacity).
+    pub fn load_at(&self, pos: SimDuration) -> Bandwidth {
+        let mut total = Bandwidth::ZERO;
+        for e in self.entries.values() {
+            if self.ring_dist(e.start, pos) < self.bpt {
+                total = total.saturating_add(e.rate);
+            }
+        }
+        total
+    }
+
+    /// The maximum instantaneous load in the window `[start, start+bpt)`.
+    pub fn max_load_in_entry_window(&self, start: SimDuration) -> Bandwidth {
+        // Candidate maxima occur at the window start and at each entry
+        // start inside the window.
+        let mut max = self.load_at(start);
+        for e in self.entries.values() {
+            if self.ring_dist(start, e.start) < self.bpt {
+                max = max.max(self.load_at(e.start));
+            }
+        }
+        max
+    }
+
+    /// Whether an entry of `rate` starting at `start` fits under capacity.
+    pub fn fits(&self, start: SimDuration, rate: Bandwidth) -> bool {
+        self.max_load_in_entry_window(start).saturating_add(rate) <= self.capacity
+    }
+
+    /// Validates a start against the quantization grid.
+    fn check_alignment(&self, start: SimDuration) -> Result<(), NetScheduleError> {
+        if let Some(q) = self.quantum {
+            if start.as_nanos() % q.as_nanos() != 0 {
+                return Err(NetScheduleError::UnalignedStart);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts an entry; `tentative` marks a two-phase reservation.
+    pub fn insert(
+        &mut self,
+        instance: ViewerInstance,
+        start: SimDuration,
+        rate: Bandwidth,
+        tentative: bool,
+    ) -> Result<NetEntryId, NetScheduleError> {
+        debug_assert!(start < self.len);
+        self.check_alignment(start)?;
+        if !self.fits(start, rate) {
+            return Err(NetScheduleError::Overflow);
+        }
+        let id = NetEntryId(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            NetEntry {
+                instance,
+                start,
+                rate,
+                tentative,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Commits a tentative entry ("replace the reservation with a real
+    /// schedule entry").
+    pub fn commit(&mut self, id: NetEntryId) -> Result<(), NetScheduleError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(NetScheduleError::UnknownEntry(id))?;
+        e.tentative = false;
+        Ok(())
+    }
+
+    /// Aborts (removes) a tentative or committed entry.
+    pub fn abort(&mut self, id: NetEntryId) -> Result<(), NetScheduleError> {
+        self.entries
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(NetScheduleError::UnknownEntry(id))
+    }
+
+    /// Whether any entry (committed or tentative) exists for `instance`.
+    pub fn has_instance(&self, instance: ViewerInstance) -> bool {
+        self.entries.values().any(|e| e.instance == instance)
+    }
+
+    /// Removes all entries for `instance` (deschedule). Returns how many
+    /// were removed.
+    pub fn remove_instance(&mut self, instance: ViewerInstance) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.instance != instance);
+        before - self.entries.len()
+    }
+
+    /// Number of entries (committed + tentative).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the schedule holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All candidate start positions on the quantization grid (or on a
+    /// `probe` grid when starts are unquantized) at which an entry of
+    /// `rate` currently fits.
+    pub fn admissible_starts(&self, rate: Bandwidth, probe: SimDuration) -> Vec<SimDuration> {
+        let step = self.quantum.unwrap_or(probe);
+        assert!(!step.is_zero());
+        let mut out = Vec::new();
+        let mut pos = SimDuration::ZERO;
+        while pos < self.len {
+            if self.fits(pos, rate) {
+                out.push(pos);
+            }
+            pos += step;
+        }
+        out
+    }
+
+    /// Mean free bandwidth over the ring, sampled at `probe` resolution.
+    pub fn mean_free_bandwidth(&self, probe: SimDuration) -> Bandwidth {
+        assert!(!probe.is_zero());
+        let mut total: u128 = 0;
+        let mut samples: u64 = 0;
+        let mut pos = SimDuration::ZERO;
+        while pos < self.len {
+            let load = self.load_at(pos);
+            total += u128::from(
+                self.capacity
+                    .checked_sub(load)
+                    .unwrap_or(Bandwidth::ZERO)
+                    .bits_per_sec(),
+            );
+            samples += 1;
+            pos += probe;
+        }
+        Bandwidth::from_bits_per_sec((total / u128::from(samples.max(1))) as u64)
+    }
+
+    /// The §3.2 fragmentation metric: the fraction of mean free bandwidth
+    /// that cannot be used by streams of `rate`, because no admissible
+    /// start window can carry them.
+    ///
+    /// 0.0 = all free bandwidth is reachable (or there is none); 1.0 = free
+    /// bandwidth exists but no stream of `rate` can start at all.
+    pub fn fragmentation(&self, rate: Bandwidth, probe: SimDuration) -> f64 {
+        let free = self.mean_free_bandwidth(probe).bits_per_sec() as f64;
+        if free == 0.0 {
+            return 0.0; // Genuinely full, not fragmented.
+        }
+        // Greedily pack as many rate-streams as currently fit (each
+        // admission changes the landscape, so simulate the packing).
+        let mut trial = self.clone();
+        let mut packed_bits = 0f64;
+        loop {
+            let starts = trial.admissible_starts(rate, probe);
+            let Some(&s) = starts.first() else { break };
+            let inst = ViewerInstance::default();
+            if trial.insert(inst, s, rate, false).is_err() {
+                break;
+            }
+            packed_bits += rate.bits_per_sec() as f64;
+            if packed_bits >= free {
+                break;
+            }
+        }
+        (1.0 - packed_bits / free).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_layout::ViewerId;
+
+    fn inst(v: u64) -> ViewerInstance {
+        ViewerInstance {
+            viewer: ViewerId(v),
+            incarnation: 0,
+        }
+    }
+
+    fn mbit(n: u64) -> Bandwidth {
+        Bandwidth::from_mbit_per_sec(n)
+    }
+
+    fn sec(n: u64) -> SimDuration {
+        SimDuration::from_secs(n)
+    }
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    /// A 3-cub ring (3 s long), 6 Mbit/s NIC — the Figure 4 setting.
+    fn fig4() -> NetworkSchedule {
+        NetworkSchedule::new(3, sec(1), mbit(6), None)
+    }
+
+    #[test]
+    fn load_accumulates_and_wraps() {
+        let mut s = fig4();
+        s.insert(inst(0), ms(0), mbit(2), false).expect("fits");
+        s.insert(inst(1), ms(500), mbit(3), false).expect("fits");
+        // Entry spanning the ring end.
+        s.insert(inst(2), ms(2500), mbit(1), false).expect("fits");
+        assert_eq!(s.load_at(ms(0)), mbit(3)); // viewer 0 + wrap of viewer 2
+        assert_eq!(s.load_at(ms(600)), mbit(5));
+        assert_eq!(s.load_at(ms(1200)), mbit(3));
+        assert_eq!(s.load_at(ms(2600)), mbit(1));
+    }
+
+    #[test]
+    fn capacity_is_enforced_across_the_window() {
+        let mut s = fig4();
+        s.insert(inst(0), ms(0), mbit(4), false).expect("fits");
+        // A 3 Mbit/s entry at 500 would overlap the 4 Mbit/s one: 7 > 6.
+        assert_eq!(
+            s.insert(inst(1), ms(500), mbit(3), false),
+            Err(NetScheduleError::Overflow)
+        );
+        // At 1000 (no overlap) it fits.
+        s.insert(inst(1), ms(1000), mbit(3), false).expect("fits");
+        // 2 Mbit/s overlapping the 4 fits exactly (6 = capacity).
+        s.insert(inst(2), ms(500), mbit(2), false)
+            .expect("fits at capacity");
+    }
+
+    #[test]
+    fn fig4_fragmentation_example() {
+        // §3.2: "The free bandwidth below the 6 Mbit/s level between when
+        // viewer 4 finishes sending and when viewer 2 starts is unusable,
+        // because any new entry would be one block play time long, and the
+        // gap in the schedule is slightly too short."
+        let mut s = fig4();
+        // viewer 4: 2 Mbit/s at [0, 1); viewer 2 starts at 1.875 with the
+        // rest of the band busy enough that the 2 Mbit/s lane is only free
+        // in [1, 1.875).
+        s.insert(inst(4), ms(0), mbit(2), false).expect("fits");
+        s.insert(inst(2), ms(1875), mbit(2), false).expect("fits");
+        // Fill the remaining 4 Mbit/s everywhere.
+        s.insert(inst(10), ms(0), mbit(4), false).expect("fits");
+        s.insert(inst(11), ms(1000), mbit(4), false).expect("fits");
+        s.insert(inst(12), ms(2000), mbit(4), false).expect("fits");
+        // The 2 Mbit/s lane gap [1.0, 1.875) is < 1 s: nothing fits there.
+        for start_ms in [1000u64, 1100, 1500, 1800] {
+            assert!(
+                !s.fits(ms(start_ms), mbit(2)),
+                "gap too short at {start_ms}"
+            );
+        }
+        assert!(s.fragmentation(mbit(2), ms(125)) > 0.0);
+    }
+
+    #[test]
+    fn quantized_starts_reject_unaligned() {
+        // decluster 4 → quantum = bpt/4 = 250 ms.
+        let mut s = NetworkSchedule::new(3, sec(1), mbit(6), Some(ms(250)));
+        assert_eq!(
+            s.insert(inst(0), ms(100), mbit(2), false),
+            Err(NetScheduleError::UnalignedStart)
+        );
+        s.insert(inst(0), ms(250), mbit(2), false)
+            .expect("aligned start fits");
+    }
+
+    #[test]
+    fn tentative_entries_block_capacity_until_aborted() {
+        let mut s = fig4();
+        let id = s.insert(inst(0), ms(0), mbit(4), true).expect("fits");
+        assert_eq!(
+            s.insert(inst(1), ms(0), mbit(4), false),
+            Err(NetScheduleError::Overflow),
+            "reservation blocks capacity"
+        );
+        s.abort(id).expect("known id");
+        s.insert(inst(1), ms(0), mbit(4), false)
+            .expect("fits after abort");
+    }
+
+    #[test]
+    fn commit_makes_reservation_permanent() {
+        let mut s = fig4();
+        let id = s.insert(inst(0), ms(0), mbit(4), true).expect("fits");
+        s.commit(id).expect("known id");
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.commit(NetEntryId(99)),
+            Err(NetScheduleError::UnknownEntry(NetEntryId(99)))
+        );
+    }
+
+    #[test]
+    fn remove_instance_clears_all_entries() {
+        let mut s = fig4();
+        s.insert(inst(7), ms(0), mbit(1), false).expect("fits");
+        s.insert(inst(7), ms(1000), mbit(1), false).expect("fits");
+        s.insert(inst(8), ms(0), mbit(1), false).expect("fits");
+        assert_eq!(s.remove_instance(inst(7)), 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn quantization_reduces_fragmentation_under_churn() {
+        // Start/stop churn with arbitrary starts leaves odd-sized gaps;
+        // with quantized starts the landscape stays packable. This is the
+        // §3.2 claim in miniature.
+        let run = |quantum: Option<SimDuration>| -> f64 {
+            let mut s = NetworkSchedule::new(8, sec(1), mbit(6), quantum);
+            // Deterministic churn pattern with awkward offsets.
+            let offsets: &[u64] = &[
+                0, 217, 733, 1250, 1901, 2500, 3333, 4250, 5111, 6000, 6777, 7500,
+            ];
+            let mut ids = Vec::new();
+            for (i, &off) in offsets.iter().enumerate() {
+                let start = match quantum {
+                    Some(q) => ms(off).as_nanos() / q.as_nanos() * q.as_nanos(),
+                    None => ms(off).as_nanos(),
+                };
+                if let Ok(id) = s.insert(
+                    inst(i as u64),
+                    SimDuration::from_nanos(start),
+                    mbit(2),
+                    false,
+                ) {
+                    ids.push(id);
+                }
+            }
+            // Stop every other stream, leaving fragmented gaps.
+            for id in ids.iter().step_by(2) {
+                let _ = s.abort(*id);
+            }
+            s.fragmentation(mbit(2), ms(50))
+        };
+        let arbitrary = run(None);
+        let quantized = run(Some(ms(250)));
+        assert!(
+            quantized <= arbitrary,
+            "quantized {quantized} should not fragment more than arbitrary {arbitrary}"
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! A cub's bounded, possibly out-of-date view of the schedule (§4.1).
+//!
+//! "Every cub maintains a view of the portion of the disk schedule near
+//! each of its disks. … Views may be incomplete or out-of-date without
+//! compromising the coherence of the underlying hallucination."
+//!
+//! The view enforces the paper's merge rules:
+//!
+//! * viewer states are idempotent — duplicates are ignored;
+//! * a held deschedule blocks (re-)acceptance of the matching viewer state
+//!   ("Before accepting a viewer state, a cub checks to see if it is
+//!   holding a deschedule for that viewer in that slot");
+//! * deschedules are held for a while after their slot has passed, to catch
+//!   late viewer states;
+//! * a primary entry never shares a slot with a different instance — an
+//!   attempted conflicting insert is reported, because it would mean the
+//!   ownership protocol was violated.
+
+use tiger_sim::DetHashMap as HashMap;
+
+use tiger_sim::SimTime;
+
+use crate::params::SlotId;
+use crate::records::{Deschedule, StreamKind, ViewerState};
+
+/// Outcome of merging a viewer state into a view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewApply {
+    /// The record was new and is now in the view.
+    Inserted,
+    /// The record refreshed/advanced an existing entry.
+    Updated,
+    /// The record is an exact or older duplicate; ignored.
+    Duplicate,
+    /// A held deschedule killed the record on arrival.
+    Blocked,
+    /// The slot already holds a *different* viewer instance of the same
+    /// kind. The view keeps the existing entry; the caller should treat
+    /// this as an ownership-protocol violation.
+    Conflict,
+}
+
+/// A cub's window onto the global schedule.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleView {
+    /// Live entries. A slot usually holds one primary entry; during failed
+    /// mode it may also hold mirror entries (distinct `kind`s) for the same
+    /// instance.
+    entries: HashMap<SlotId, Vec<ViewerState>>,
+    /// Held deschedules with their expiry times.
+    deschedules: Vec<(Deschedule, SimTime)>,
+}
+
+impl ScheduleView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges a viewer state into the view at `now`.
+    pub fn apply_viewer_state(&mut self, vs: ViewerState, now: SimTime) -> ViewApply {
+        self.gc(now);
+        if self.deschedules.iter().any(|(d, _)| d.matches(&vs)) {
+            return ViewApply::Blocked;
+        }
+        let slot_entries = self.entries.entry(vs.slot).or_default();
+        // Same-kind entry for this slot?
+        if let Some(existing) = slot_entries.iter_mut().find(|e| same_kind(e, &vs)) {
+            if existing.instance == vs.instance {
+                if existing.play_seq >= vs.play_seq {
+                    return ViewApply::Duplicate;
+                }
+                *existing = vs;
+                return ViewApply::Updated;
+            }
+            return ViewApply::Conflict;
+        }
+        slot_entries.push(vs);
+        ViewApply::Inserted
+    }
+
+    /// Applies a deschedule at `now`, holding it until `hold_until`.
+    /// Returns `true` if it removed at least one live entry.
+    ///
+    /// Idempotent: re-applying an already-held deschedule extends its hold
+    /// time but reports `false` (nothing newly removed) unless an entry
+    /// re-appeared meanwhile.
+    pub fn apply_deschedule(&mut self, d: Deschedule, now: SimTime, hold_until: SimTime) -> bool {
+        self.gc(now);
+        let mut removed = false;
+        if let Some(slot_entries) = self.entries.get_mut(&d.slot) {
+            let before = slot_entries.len();
+            slot_entries.retain(|e| !d.matches(e));
+            removed = slot_entries.len() != before;
+            if slot_entries.is_empty() {
+                self.entries.remove(&d.slot);
+            }
+        }
+        match self.deschedules.iter_mut().find(|(held, _)| *held == d) {
+            Some((_, expiry)) => *expiry = (*expiry).max(hold_until),
+            None => self.deschedules.push((d, hold_until)),
+        }
+        removed
+    }
+
+    /// Whether a matching deschedule is currently held.
+    pub fn holds_deschedule(&self, d: &Deschedule) -> bool {
+        self.deschedules.iter().any(|(held, _)| held == d)
+    }
+
+    /// The primary entry in `slot`, if known.
+    pub fn primary_entry(&self, slot: SlotId) -> Option<&ViewerState> {
+        self.entries
+            .get(&slot)?
+            .iter()
+            .find(|e| e.kind == StreamKind::Primary)
+    }
+
+    /// All entries in `slot` (primary and mirror).
+    pub fn slot_entries(&self, slot: SlotId) -> &[ViewerState] {
+        self.entries.get(&slot).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the view believes `slot` has no primary occupant.
+    ///
+    /// This is a *belief*, not a fact — "Just because a cub's local view of
+    /// the schedule shows a particular slot as being empty, it cannot
+    /// conclude that the slot is in fact empty." The ownership protocol is
+    /// what makes acting on the belief safe.
+    pub fn believes_slot_free(&self, slot: SlotId) -> bool {
+        self.primary_entry(slot).is_none()
+    }
+
+    /// Removes one specific entry (after its work is done and forwarded).
+    /// Returns the removed record.
+    ///
+    /// Matching includes `play_seq`: if the view has meanwhile been updated
+    /// with a newer lap of the same slot (possible on small rings where the
+    /// viewer-state lead approaches the ring length), retiring the older
+    /// record must not evict the newer one.
+    pub fn retire(&mut self, slot: SlotId, entry: &ViewerState) -> Option<ViewerState> {
+        let slot_entries = self.entries.get_mut(&slot)?;
+        let idx = slot_entries.iter().position(|e| {
+            e.instance == entry.instance && same_kind(e, entry) && e.play_seq == entry.play_seq
+        })?;
+        let removed = slot_entries.swap_remove(idx);
+        if slot_entries.is_empty() {
+            self.entries.remove(&slot);
+        }
+        Some(removed)
+    }
+
+    /// Iterates over all `(slot, entry)` pairs in the view.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &ViewerState)> {
+        self.entries
+            .iter()
+            .flat_map(|(slot, v)| v.iter().map(move |e| (*slot, e)))
+    }
+
+    /// Number of live entries (all kinds).
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// True if the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of held deschedules.
+    pub fn held_deschedules(&self) -> usize {
+        self.deschedules.len()
+    }
+
+    /// Drops expired deschedules.
+    pub fn gc(&mut self, now: SimTime) {
+        self.deschedules.retain(|&(_, expiry)| expiry > now);
+    }
+}
+
+fn same_kind(a: &ViewerState, b: &ViewerState) -> bool {
+    match (a.kind, b.kind) {
+        (StreamKind::Primary, StreamKind::Primary) => true,
+        (
+            StreamKind::Mirror {
+                piece: pa,
+                failed_disk: fa,
+            },
+            StreamKind::Mirror {
+                piece: pb,
+                failed_disk: fb,
+            },
+        ) => pa == pb && fa == fb,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_layout::ids::ViewerInstance;
+    use tiger_layout::{BlockNum, DiskId, FileId, ViewerId};
+    use tiger_sim::{Bandwidth, SimDuration};
+
+    fn vs(slot: u32, viewer: u64, play_seq: u32) -> ViewerState {
+        ViewerState {
+            instance: ViewerInstance {
+                viewer: ViewerId(viewer),
+                incarnation: 0,
+            },
+            client: 1,
+            file: FileId(0),
+            position: BlockNum(play_seq),
+            slot: SlotId(slot),
+            play_seq,
+            bitrate: Bandwidth::from_mbit_per_sec(2),
+            kind: StreamKind::Primary,
+        }
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn insert_then_duplicate_then_update() {
+        let mut v = ScheduleView::new();
+        assert_eq!(v.apply_viewer_state(vs(3, 1, 5), T0), ViewApply::Inserted);
+        assert_eq!(v.apply_viewer_state(vs(3, 1, 5), T0), ViewApply::Duplicate);
+        assert_eq!(v.apply_viewer_state(vs(3, 1, 4), T0), ViewApply::Duplicate);
+        assert_eq!(v.apply_viewer_state(vs(3, 1, 6), T0), ViewApply::Updated);
+        assert_eq!(v.primary_entry(SlotId(3)).map(|e| e.play_seq), Some(6));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_instance_is_reported_and_rejected() {
+        let mut v = ScheduleView::new();
+        v.apply_viewer_state(vs(3, 1, 5), T0);
+        assert_eq!(v.apply_viewer_state(vs(3, 2, 0), T0), ViewApply::Conflict);
+        assert_eq!(
+            v.primary_entry(SlotId(3)).map(|e| e.instance.viewer),
+            Some(ViewerId(1))
+        );
+    }
+
+    #[test]
+    fn deschedule_removes_and_blocks() {
+        let mut v = ScheduleView::new();
+        let a = vs(3, 1, 5);
+        v.apply_viewer_state(a, T0);
+        let d = Deschedule {
+            instance: a.instance,
+            slot: a.slot,
+        };
+        assert!(v.apply_deschedule(d, T0, t(10)));
+        assert!(v.believes_slot_free(SlotId(3)));
+        // A late-arriving viewer state for the descheduled viewer is
+        // blocked by the held deschedule.
+        assert_eq!(
+            v.apply_viewer_state(a.advanced(1), t(1)),
+            ViewApply::Blocked
+        );
+        // A *new* viewer may take the slot.
+        assert_eq!(v.apply_viewer_state(vs(3, 9, 0), t(1)), ViewApply::Inserted);
+    }
+
+    #[test]
+    fn deschedule_is_idempotent_and_harmless_when_unmatched() {
+        let mut v = ScheduleView::new();
+        let d = Deschedule {
+            instance: ViewerInstance {
+                viewer: ViewerId(1),
+                incarnation: 0,
+            },
+            slot: SlotId(3),
+        };
+        // "Having a deschedule request floating around after the slot has
+        // been reallocated will not cause incorrect results."
+        assert!(!v.apply_deschedule(d, T0, t(10)));
+        assert!(!v.apply_deschedule(d, T0, t(12)));
+        assert_eq!(v.held_deschedules(), 1);
+        // A different instance in the same slot is untouched.
+        let other = vs(3, 2, 0);
+        v.apply_viewer_state(other, T0);
+        assert!(!v.apply_deschedule(d, t(1), t(10)));
+        assert!(v.primary_entry(SlotId(3)).is_some());
+    }
+
+    #[test]
+    fn wrong_incarnation_survives_deschedule() {
+        // §4.1.2: "instance corresponds to the particular start request
+        // being descheduled" — a restarted viewer must not be killed by the
+        // stale deschedule of its previous incarnation.
+        let mut v = ScheduleView::new();
+        let mut restarted = vs(3, 1, 0);
+        restarted.instance.incarnation = 1;
+        v.apply_viewer_state(restarted, T0);
+        let stale = Deschedule {
+            instance: ViewerInstance {
+                viewer: ViewerId(1),
+                incarnation: 0,
+            },
+            slot: SlotId(3),
+        };
+        assert!(!v.apply_deschedule(stale, T0, t(10)));
+        assert!(v.primary_entry(SlotId(3)).is_some());
+    }
+
+    #[test]
+    fn deschedules_expire() {
+        let mut v = ScheduleView::new();
+        let a = vs(3, 1, 5);
+        let d = Deschedule {
+            instance: a.instance,
+            slot: a.slot,
+        };
+        v.apply_deschedule(d, T0, t(5));
+        assert_eq!(v.apply_viewer_state(a, t(1)), ViewApply::Blocked);
+        // After expiry the viewer state would be accepted again (the
+        // protocol prevents this from happening in practice by discarding
+        // states that arrive later than the deschedule hold time).
+        assert_eq!(v.apply_viewer_state(a, t(6)), ViewApply::Inserted);
+        assert_eq!(v.held_deschedules(), 0);
+    }
+
+    #[test]
+    fn reapplying_extends_hold() {
+        let mut v = ScheduleView::new();
+        let a = vs(3, 1, 5);
+        let d = Deschedule {
+            instance: a.instance,
+            slot: a.slot,
+        };
+        v.apply_deschedule(d, T0, t(5));
+        v.apply_deschedule(d, t(1), t(20));
+        assert_eq!(v.apply_viewer_state(a, t(6)), ViewApply::Blocked);
+    }
+
+    #[test]
+    fn mirror_entries_share_slot_with_primary() {
+        let mut v = ScheduleView::new();
+        let a = vs(3, 1, 5);
+        v.apply_viewer_state(a, T0);
+        let mut m0 = a;
+        m0.kind = StreamKind::Mirror {
+            failed_disk: DiskId(7),
+            piece: 0,
+        };
+        let mut m1 = a;
+        m1.kind = StreamKind::Mirror {
+            failed_disk: DiskId(7),
+            piece: 1,
+        };
+        assert_eq!(v.apply_viewer_state(m0, T0), ViewApply::Inserted);
+        assert_eq!(v.apply_viewer_state(m1, T0), ViewApply::Inserted);
+        assert_eq!(v.apply_viewer_state(m0, T0), ViewApply::Duplicate);
+        assert_eq!(v.slot_entries(SlotId(3)).len(), 3);
+        // Descheduling the viewer kills all derived entries.
+        let d = Deschedule {
+            instance: a.instance,
+            slot: a.slot,
+        };
+        assert!(v.apply_deschedule(d, T0, t(10)));
+        assert!(v.slot_entries(SlotId(3)).is_empty());
+    }
+
+    #[test]
+    fn retire_removes_one_entry() {
+        let mut v = ScheduleView::new();
+        let a = vs(3, 1, 5);
+        v.apply_viewer_state(a, T0);
+        assert!(v.retire(SlotId(3), &a).is_some());
+        assert!(v.retire(SlotId(3), &a).is_none());
+        assert!(v.is_empty());
+        let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut v = ScheduleView::new();
+        v.apply_viewer_state(vs(1, 1, 0), T0);
+        v.apply_viewer_state(vs(2, 2, 0), T0);
+        v.apply_viewer_state(vs(9, 3, 0), T0);
+        let mut slots: Vec<u32> = v.iter().map(|(s, _)| s.raw()).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![1, 2, 9]);
+    }
+}

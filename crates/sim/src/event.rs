@@ -1,0 +1,208 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Events scheduled for the same instant are delivered in the order they
+//! were scheduled (FIFO among ties). This matters for protocol fidelity:
+//! the Tiger insertion-ordering argument of §4.1.3 assumes that a cub that
+//! sends a deschedule before an insertion has those messages *processed* in
+//! that order, and the simulation must not reorder them through heap
+//! internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue keyed by simulated time with FIFO tie-breaking.
+///
+/// The queue also owns the simulated clock: popping an event advances
+/// [`EventQueue::now`] to that event's timestamp. Scheduling an event in the
+/// past is a logic error and panics, because it would mean the simulation
+/// produced an effect before its cause.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current simulated time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled an event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the next event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Removes and returns the next event only if it is at or before
+    /// `horizon`; the clock does not advance past `horizon` otherwise.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Discards all pending events and advances the clock to `at`.
+    ///
+    /// Used by experiment drivers to fast-forward between phases.
+    pub fn jump_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot jump backwards in time");
+        self.heap.clear();
+        self.now = at;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(2), "second");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(10), "b");
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(5)).map(|(_, e)| e),
+            Some("a")
+        );
+        assert_eq!(q.pop_until(SimTime::from_secs(5)), None);
+        // The clock did not advance to the unpopped event.
+        assert_eq!(q.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn jump_to_discards_and_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.jump_to(SimTime::from_secs(42));
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_secs(42));
+    }
+}

@@ -1,0 +1,164 @@
+//! A deterministic tree of random-number streams.
+//!
+//! Every stochastic element of the simulation (disk blips, network jitter,
+//! client file selection, arrival processes) draws from its own stream,
+//! derived from a single root seed and a label. This keeps experiments
+//! replayable and — just as important — keeps streams independent: adding a
+//! draw in one component cannot perturb the sequence seen by another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled fork point in the deterministic RNG tree.
+///
+/// `RngTree::fork("disk", 7)` always yields the same stream for the same
+/// root seed, regardless of what any other component has drawn.
+#[derive(Debug, Clone)]
+pub struct RngTree {
+    seed: u64,
+}
+
+impl RngTree {
+    /// Creates a tree rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        RngTree { seed }
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent RNG stream for component `label` instance
+    /// `index`.
+    pub fn fork(&self, label: &str, index: u64) -> StdRng {
+        StdRng::seed_from_u64(derive(self.seed, label, index))
+    }
+
+    /// Derives a child tree, for components that themselves own several
+    /// streams.
+    pub fn subtree(&self, label: &str, index: u64) -> RngTree {
+        RngTree {
+            seed: derive(self.seed, label, index),
+        }
+    }
+}
+
+/// Mixes `(seed, label, index)` into a 64-bit stream seed using FNV-1a over
+/// the label followed by a splitmix64 finalizer. Not cryptographic; just a
+/// stable, well-spread derivation.
+fn derive(seed: u64, label: &str, index: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ seed;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= index;
+    h = h.wrapping_mul(FNV_PRIME);
+    splitmix64(h)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Draws from an exponential distribution with the given mean, via inverse
+/// CDF. Returns the sample in the same (float) units as the mean.
+///
+/// Provided here so all components use one well-tested implementation.
+pub fn sample_exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    // Map the open interval (0, 1]; `gen::<f64>()` yields [0, 1), so invert.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Draws from a bounded Pareto-like heavy tail on `[1, cap]` with shape
+/// `alpha`. Used for disk service-time "blips": most draws are near 1, rare
+/// draws are large multipliers.
+pub fn sample_bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, cap: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && cap > 1.0);
+    let u: f64 = rng
+        .gen::<f64>()
+        .clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+    // Inverse CDF of a Pareto truncated at `cap`.
+    let l = 1.0f64;
+    let h = cap;
+    let la = l.powf(alpha);
+    let ha = h.powf(alpha);
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let tree = RngTree::new(42);
+        let a: Vec<u32> = {
+            let mut r = tree.fork("disk", 3);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = tree.fork("disk", 3);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let tree = RngTree::new(42);
+        let a: u64 = tree.fork("disk", 0).gen();
+        let b: u64 = tree.fork("net", 0).gen();
+        let c: u64 = tree.fork("disk", 1).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn subtree_is_stable() {
+        let t1 = RngTree::new(7).subtree("cub", 2);
+        let t2 = RngTree::new(7).subtree("cub", 2);
+        assert_eq!(t1.fork("x", 0).gen::<u64>(), t2.fork("x", 0).gen::<u64>());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = RngTree::new(1).fork("exp", 0);
+        let n = 20_000;
+        let mean = 5.0;
+        let total: f64 = (0..n).map(|_| sample_exponential(&mut r, mean)).sum();
+        let sample_mean = total / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.2,
+            "sample mean {sample_mean}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_within_bounds() {
+        let mut r = RngTree::new(1).fork("pareto", 0);
+        for _ in 0..10_000 {
+            let x = sample_bounded_pareto(&mut r, 1.5, 50.0);
+            assert!((1.0..=50.0).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_mostly_small() {
+        let mut r = RngTree::new(2).fork("pareto", 0);
+        let n = 10_000;
+        let big = (0..n)
+            .filter(|_| sample_bounded_pareto(&mut r, 1.5, 50.0) > 10.0)
+            .count();
+        // Heavy tail, but the bulk of mass stays near 1.
+        assert!(big < n / 20, "{big} of {n} samples exceeded 10x");
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload generators and experiment drivers reproducing the paper's §5
+//! evaluation.
+//!
+//! Each experiment in the paper maps to one driver here; the bench crate's
+//! binaries are thin wrappers that run a driver and print the table/series
+//! the paper reports. Drivers are deterministic functions of their
+//! configuration structs.
+
+pub mod catalog;
+pub mod ramp;
+pub mod reconfig;
+pub mod report;
+pub mod startup;
+pub mod vcr;
+
+pub use catalog::{populate_catalog, CatalogSpec};
+pub use ramp::{run_ramp, RampConfig, RampResult};
+pub use reconfig::{run_reconfig, ReconfigConfig, ReconfigResult};
+pub use report::{format_ramp_table, format_startup_table};
+pub use startup::{run_startup, StartupConfig, StartupResult};
+pub use vcr::{run_vcr, VcrConfig, VcrResult};

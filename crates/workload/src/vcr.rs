@@ -1,0 +1,138 @@
+//! A VCR-style interactive workload: viewers that pause, resume, and seek
+//! while others play straight through.
+//!
+//! The paper's §4.1.2 machinery (instance numbers, idempotent deschedules)
+//! exists to make exactly this kind of churn safe; this driver generates
+//! it at scale for tests and benches.
+
+use rand::Rng;
+
+use tiger_core::{TigerConfig, TigerSystem};
+use tiger_layout::ids::ViewerInstance;
+use tiger_sim::{RngTree, SimDuration, SimTime};
+
+use crate::catalog::{populate_catalog, CatalogSpec};
+
+/// Configuration of the interactive workload.
+#[derive(Clone, Debug)]
+pub struct VcrConfig {
+    /// System configuration.
+    pub tiger: TigerConfig,
+    /// Content catalog.
+    pub catalog: CatalogSpec,
+    /// Concurrent viewers.
+    pub viewers: u32,
+    /// Fraction of viewers that behave interactively (pause/resume/seek);
+    /// the rest play straight through.
+    pub interactive_fraction: f64,
+    /// Total driven duration.
+    pub duration: SimDuration,
+}
+
+impl VcrConfig {
+    /// A medium interactive load on the given system.
+    pub fn medium(tiger: TigerConfig) -> Self {
+        VcrConfig {
+            catalog: CatalogSpec::sized_for(SimDuration::from_secs(400), 32),
+            viewers: 120,
+            interactive_fraction: 0.4,
+            duration: SimDuration::from_secs(300),
+            tiger,
+        }
+    }
+}
+
+/// Result of an interactive run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcrResult {
+    /// Pause operations issued.
+    pub pauses: u32,
+    /// Resume operations issued.
+    pub resumes: u32,
+    /// Seek operations issued.
+    pub seeks: u32,
+    /// Blocks received across all play instances.
+    pub blocks_received: u64,
+    /// Gap blocks (delivery holes below each instance's high water).
+    pub blocks_missing: u64,
+    /// Ownership-protocol violations (must be 0).
+    pub violations: u64,
+}
+
+/// Runs the interactive workload.
+pub fn run_vcr(cfg: &VcrConfig) -> VcrResult {
+    let mut sys = TigerSystem::new(cfg.tiger.clone());
+    sys.enable_omniscient();
+    let files = populate_catalog(&mut sys, &cfg.catalog);
+    let mut rng = RngTree::new(cfg.tiger.seed).fork("vcr", 0);
+
+    let mut pauses = 0u32;
+    let mut resumes = 0u32;
+    let mut seeks = 0u32;
+
+    for i in 0..u64::from(cfg.viewers) {
+        let client = sys.add_client();
+        let file = files[rng.gen_range(0..files.len())];
+        let t0 = SimTime::from_millis(100 + i * 900);
+        let mut current: ViewerInstance = sys.request_start(t0, client, file);
+        if (i as f64) < f64::from(cfg.viewers) * cfg.interactive_fraction {
+            // An interactive session: play, pause, resume, maybe seek.
+            let pause_at = t0 + SimDuration::from_secs(rng.gen_range(10..30));
+            sys.request_pause(pause_at, current);
+            pauses += 1;
+            let resume_at = pause_at + SimDuration::from_secs(rng.gen_range(3..20));
+            current = sys.request_resume(resume_at, current);
+            resumes += 1;
+            if rng.gen_bool(0.5) {
+                let seek_at = resume_at + SimDuration::from_secs(rng.gen_range(10..25));
+                let target = rng.gen_range(0..200);
+                sys.request_seek(seek_at, current, target);
+                seeks += 1;
+            }
+        }
+    }
+
+    let end = SimTime::ZERO + cfg.duration;
+    sys.run_until(end);
+
+    let mut received = 0u64;
+    let mut missing = 0u64;
+    for c in sys.clients() {
+        for (_, v) in c.viewers() {
+            received += u64::from(v.blocks_received());
+            missing += u64::from(v.blocks_missing());
+        }
+    }
+    VcrResult {
+        pauses,
+        resumes,
+        seeks,
+        blocks_received: received,
+        blocks_missing: missing,
+        violations: sys.take_violations().len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_churn_stays_clean() {
+        let mut tiger = TigerConfig::small_test();
+        tiger.disk = tiger.disk.without_blips();
+        let cfg = VcrConfig {
+            catalog: CatalogSpec::sized_for(SimDuration::from_secs(200), 8),
+            viewers: 20,
+            interactive_fraction: 0.5,
+            duration: SimDuration::from_secs(150),
+            tiger,
+        };
+        let r = run_vcr(&cfg);
+        assert_eq!(r.pauses, 10);
+        assert_eq!(r.resumes, 10);
+        assert_eq!(r.violations, 0, "interactive churn broke coherence");
+        assert_eq!(r.blocks_missing, 0, "interactive churn caused gaps");
+        assert!(r.blocks_received > 1_000);
+    }
+}

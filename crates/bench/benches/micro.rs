@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks for the schedule-management primitives.
+//! Micro-benchmarks for the schedule-management primitives.
 //!
 //! §5's premise: "The amount of work done to implement the Tiger schedule
 //! is small relative to the work needed to move megabytes of data per
@@ -6,9 +6,13 @@
 //! management operations is of little consequence." These benches put
 //! numbers on that: every operation is sub-microsecond to a few
 //! microseconds, vastly cheaper than a 40+ ms disk read.
+//!
+//! Runs under the in-tree `tiger_bench::runner` (criterion replaced in-tree
+//! so the workspace builds offline): a human table on stderr, a JSON
+//! document on stdout for the `BENCH_*.json` trajectory. Filter by
+//! substring: `cargo bench --bench micro -- view`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use tiger_bench::runner::{black_box, Runner};
 
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::{BlockNum, DiskId, FileId, MirrorPlacement, StripeConfig, ViewerId};
@@ -43,7 +47,7 @@ fn vs(slot: u32, viewer: u64, play_seq: u32) -> ViewerState {
     }
 }
 
-fn bench_slot_math(c: &mut Criterion) {
+fn bench_slot_math(c: &mut Runner) {
     let p = sosp_params();
     c.bench_function("slot_math/slot_send_time", |b| {
         let mut i = 0u32;
@@ -68,7 +72,7 @@ fn bench_slot_math(c: &mut Criterion) {
     });
 }
 
-fn bench_view_ops(c: &mut Criterion) {
+fn bench_view_ops(c: &mut Runner) {
     c.bench_function("view/apply_viewer_state_fresh", |b| {
         let mut view = ScheduleView::new();
         let mut i = 0u64;
@@ -109,7 +113,7 @@ fn bench_view_ops(c: &mut Criterion) {
     });
 }
 
-fn bench_layout(c: &mut Criterion) {
+fn bench_layout(c: &mut Runner) {
     let cfg = StripeConfig::new(14, 4, 4);
     let placement = MirrorPlacement::new(cfg);
     c.bench_function("layout/block_location", |b| {
@@ -128,7 +132,7 @@ fn bench_layout(c: &mut Criterion) {
     });
 }
 
-fn bench_net_schedule(c: &mut Criterion) {
+fn bench_net_schedule(c: &mut Runner) {
     c.bench_function("net_schedule/fits_under_load", |b| {
         let mut s = NetworkSchedule::new(
             14,
@@ -177,7 +181,7 @@ fn bench_net_schedule(c: &mut Criterion) {
     });
 }
 
-fn bench_disk_model(c: &mut Criterion) {
+fn bench_disk_model(c: &mut Runner) {
     use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
     use tiger_sim::RngTree;
     c.bench_function("disk/submit_complete", |b| {
@@ -203,12 +207,12 @@ fn bench_disk_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_slot_math,
-    bench_view_ops,
-    bench_layout,
-    bench_net_schedule,
-    bench_disk_model
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_args();
+    bench_slot_math(&mut c);
+    bench_view_ops(&mut c);
+    bench_layout(&mut c);
+    bench_net_schedule(&mut c);
+    bench_disk_model(&mut c);
+    c.finish();
+}

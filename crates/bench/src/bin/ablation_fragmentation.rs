@@ -13,8 +13,6 @@
 //! delayed (by at most one quantum) to the next grid point, so departures
 //! leave grid-aligned gaps that later arrivals can actually reuse.
 
-use rand::Rng;
-
 use tiger_bench::header;
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::ViewerId;
@@ -49,7 +47,7 @@ fn churn(quantum: Option<SimDuration>, seed: u64) -> ChurnStats {
     // instants until one fits (each retry models waiting for a later
     // opportunity).
     let mut admit = |sched: &mut NetworkSchedule,
-                     rng: &mut rand::rngs::StdRng,
+                     rng: &mut tiger_sim::SimRng,
                      live: &mut Vec<(ViewerInstance, NetEntryId)>|
      -> bool {
         let inst = ViewerInstance {

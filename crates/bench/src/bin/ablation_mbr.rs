@@ -5,8 +5,6 @@
 //! with the succeeding cub without having to increase the scheduling lead
 //! value."
 
-use rand::Rng;
-
 use tiger_bench::header;
 use tiger_core::{MbrConfig, MbrCoordinator, MbrOutcome, MbrSystem};
 use tiger_net::LatencyModel;

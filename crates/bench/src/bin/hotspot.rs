@@ -12,8 +12,6 @@
 //! over a 64-file catalog. The slot mechanism provides the equitemporal
 //! spacing automatically.
 
-use rand::Rng;
-
 use tiger_bench::{header, sosp_tiger};
 use tiger_core::TigerSystem;
 use tiger_layout::CubId;

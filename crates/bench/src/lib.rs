@@ -20,9 +20,13 @@
 //! | `ablation_admission` | §5: the disabled admission-control code, re-enabled |
 //! | `hotspot` | §2.2: striping absorbs single-file demand spikes |
 //!
-//! Criterion micro-benches for the schedule operations themselves live in
-//! `benches/` (the §5 premise that schedule management cost is negligible
-//! next to data movement).
+//! Micro-benches for the schedule operations themselves live in `benches/`
+//! (the §5 premise that schedule management cost is negligible next to
+//! data movement), driven by the in-tree [`runner`] so the workspace needs
+//! no registry crates and emits machine-readable JSON for the
+//! `BENCH_*.json` trajectory.
+
+pub mod runner;
 
 use tiger_core::TigerConfig;
 use tiger_sim::SimDuration;

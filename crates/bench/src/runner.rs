@@ -1,0 +1,256 @@
+//! An in-tree micro-benchmark runner (the criterion replacement).
+//!
+//! Keeps the parts of criterion this repo used — `bench_function` with a
+//! calibrated `Bencher::iter` loop — and adds what criterion made awkward:
+//! machine-readable JSON on stdout-adjacent channels so the BENCH_*.json
+//! trajectory can be tracked across PRs without any registry dependency.
+//!
+//! Protocol per benchmark:
+//!
+//! 1. *Calibrate*: starting at one iteration, double the batch size until
+//!    one batch takes ≥ [`Runner::MIN_BATCH`].
+//! 2. *Warm up*: run one calibrated batch, discarded.
+//! 3. *Sample*: time [`Runner::SAMPLES`] batches; report per-iteration
+//!    nanoseconds as min / median / mean.
+//!
+//! The human-readable table goes to stderr; the JSON document goes to
+//! stdout (and to the path in `TIGER_BENCH_OUT`, if set), so
+//! `cargo bench --bench micro > BENCH_micro.json` does the obvious thing.
+//! A single CLI argument filters benchmarks by substring, and the
+//! libtest-style `--bench` flag cargo passes is ignored.
+
+use std::time::Instant;
+
+/// Re-export of the standard optimizer barrier, so benchmark files need no
+/// direct `std::hint` import churn relative to the criterion version.
+pub use std::hint::black_box;
+
+/// Times one calibrated batch of the benchmarked operation.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `f` for the batch's iteration count and records the elapsed
+    /// wall-clock time. Call exactly once from the benchmark closure.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// One benchmark's aggregated result.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (`group/function`).
+    pub name: String,
+    /// Iterations per timed batch after calibration.
+    pub iters_per_sample: u64,
+    /// Timed batches.
+    pub samples: u64,
+    /// Fastest observed per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Collects and reports benchmark results.
+pub struct Runner {
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+impl Runner {
+    /// Minimum time one calibrated batch must take, nanoseconds.
+    const MIN_BATCH: u128 = 5_000_000;
+    /// Timed batches per benchmark.
+    const SAMPLES: usize = 25;
+
+    /// Builds a runner from CLI args: the first argument that is not a
+    /// `--flag` (cargo passes `--bench`) is a substring filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Runner {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Calibrates, warms up, samples, and records one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: double the batch until it runs long enough to time.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            f(&mut b);
+            assert!(
+                b.elapsed_ns > 0 || iters > 1,
+                "benchmark '{name}' never called iter()"
+            );
+            if b.elapsed_ns >= Self::MIN_BATCH || iters >= 1 << 30 {
+                break;
+            }
+            iters *= 2;
+        }
+        // Warm-up batch, discarded.
+        let mut warm = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut warm);
+        // Timed samples.
+        let mut per_iter: Vec<f64> = (0..Self::SAMPLES)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed_ns: 0,
+                };
+                f(&mut b);
+                b.elapsed_ns as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min_ns = per_iter[0];
+        let median_ns = per_iter[per_iter.len() / 2];
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        eprintln!(
+            "{name:<40} {min_ns:>12.1} ns/iter (min)  {median_ns:>12.1} (median)  \
+             {mean_ns:>12.1} (mean)  [{iters} iters x {} samples]",
+            Self::SAMPLES
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: Self::SAMPLES as u64,
+            min_ns,
+            median_ns,
+            mean_ns,
+        });
+    }
+
+    /// The JSON document for the collected results.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"min_ns\": {:.2}, \"median_ns\": {:.2}, \"mean_ns\": {:.2}}}{}\n",
+                json_string(&r.name),
+                r.iters_per_sample,
+                r.samples,
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Prints the JSON document to stdout and, if `TIGER_BENCH_OUT` is
+    /// set, writes it there too.
+    pub fn finish(self) {
+        let json = self.to_json();
+        print!("{json}");
+        if let Ok(path) = std::env::var("TIGER_BENCH_OUT") {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a/b"), "\"a/b\"");
+        assert_eq!(json_string("q\"x\\"), "\"q\\\"x\\\\\"");
+        assert_eq!(json_string("\n"), "\"\\n\"");
+    }
+
+    #[test]
+    fn results_serialize_to_valid_shape() {
+        let mut r = Runner {
+            filter: None,
+            results: Vec::new(),
+        };
+        r.results.push(BenchResult {
+            name: "group/fn".into(),
+            iters_per_sample: 1024,
+            samples: 25,
+            min_ns: 12.5,
+            median_ns: 13.0,
+            mean_ns: 13.2,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"benchmarks\": ["));
+        assert!(json.contains("\"name\": \"group/fn\""));
+        assert!(json.contains("\"min_ns\": 12.50"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn bench_function_measures_and_filters() {
+        let mut r = Runner {
+            filter: Some("keep".into()),
+            results: Vec::new(),
+        };
+        r.bench_function("keep/this", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(1));
+                x
+            })
+        });
+        r.bench_function("skip/this", |b| b.iter(|| 1u64));
+        assert_eq!(r.results.len(), 1);
+        assert_eq!(r.results[0].name, "keep/this");
+        assert!(r.results[0].min_ns >= 0.0);
+        assert!(r.results[0].mean_ns >= r.results[0].min_ns);
+    }
+}

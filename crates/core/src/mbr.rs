@@ -19,13 +19,11 @@
 //! having to increase the scheduling lead value" — the ablation bench
 //! measures exactly that.
 
-use rand::rngs::StdRng;
-
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::ViewerId;
 use tiger_net::LatencyModel;
 use tiger_sched::{NetEntryId, NetworkSchedule};
-use tiger_sim::{Bandwidth, RngTree, SimDuration, SimTime};
+use tiger_sim::{Bandwidth, RngTree, SimDuration, SimRng, SimTime};
 
 /// Configuration of a multiple-bitrate schedule ring.
 #[derive(Clone, Debug)]
@@ -94,7 +92,7 @@ pub struct MbrCoordinator {
     /// matter); tentative entries and reservations live only in the views
     /// of the two cubs involved.
     views: Vec<NetworkSchedule>,
-    rng: StdRng,
+    rng: SimRng,
     next_viewer: u64,
     /// (viewer, entry ids per view) for committed entries.
     committed: Vec<(ViewerInstance, Vec<NetEntryId>)>,

@@ -22,14 +22,13 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::ViewerId;
 #[cfg(test)]
 use tiger_net::LatencyModel;
 use tiger_net::{NetNode, Network};
 use tiger_sched::{NetEntryId, NetworkSchedule};
-use tiger_sim::{Bandwidth, EventQueue, RngTree, SimDuration, SimTime};
+use tiger_sim::{Bandwidth, EventQueue, RngTree, SimDuration, SimRng, SimTime};
 
 use crate::mbr::MbrConfig;
 
@@ -123,7 +122,7 @@ pub struct MbrSystem {
     stats: MbrDistStats,
     next_instance: u64,
     next_reservation: u64,
-    rng: rand::rngs::StdRng,
+    rng: SimRng,
     /// The insertion deadline budget (scheduling lead).
     deadline: SimDuration,
 }

@@ -52,7 +52,11 @@ impl LossReport {
 }
 
 /// Collected metrics for one run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` is part of the determinism contract: two runs with the same
+/// `(TigerConfig, workload, seed)` must produce *identical* metrics (see
+/// `tests/determinism.rs`), floats included.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Metrics {
     /// Per-window samples (the ramp curves).
     pub windows: Vec<WindowSample>,

@@ -9,8 +9,6 @@
 //! omniscient-checker finding; churning stop/start traffic at high load is
 //! how to provoke it.
 
-use rand::Rng;
-
 use tiger_core::{TigerConfig, TigerSystem};
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::CubId;
@@ -93,11 +91,11 @@ fn chaos_runs_stay_coherent_across_seeds() {
         let capacity = sys.shared().params.capacity();
         let mut live: Vec<ViewerInstance> = Vec::new();
         let mut t = SimTime::from_millis(100);
-        let kill_at = SimTime::from_secs(30 + rng.gen_range(0..20));
-        let victim_cub = CubId(rng.gen_range(0..4));
+        let kill_at = SimTime::from_secs(30 + rng.gen_range(0u64..20));
+        let victim_cub = CubId(rng.gen_range(0u32..4));
         sys.fail_cub_at(kill_at, victim_cub);
         for _ in 0..120 {
-            t = t + SimDuration::from_millis(rng.gen_range(100..900));
+            t = t + SimDuration::from_millis(rng.gen_range(100u64..900));
             if live.len() < (capacity as usize) * 3 / 4 && rng.gen_bool(0.7) {
                 let client = sys.add_client();
                 let file = files[rng.gen_range(0..files.len())];

@@ -12,11 +12,8 @@
 //!   which the disk was waiting for an I/O completion", i.e. the fraction of
 //!   time at least one request is outstanding (queueing included).
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use tiger_sim::rng::sample_bounded_pareto;
-use tiger_sim::{BusyTracker, ByteSize, Counter, SimDuration, SimTime};
+use tiger_sim::{BusyTracker, ByteSize, Counter, SimDuration, SimRng, SimTime};
 
 use crate::profile::DiskProfile;
 
@@ -65,7 +62,7 @@ impl std::error::Error for DiskError {}
 #[derive(Debug)]
 pub struct Disk {
     profile: DiskProfile,
-    rng: StdRng,
+    rng: SimRng,
     failed: bool,
     /// Completion time of the most recently accepted request (the queue is
     /// FIFO, so this is when the head becomes free).
@@ -85,7 +82,7 @@ pub struct Disk {
 
 impl Disk {
     /// Creates an idle disk with the given profile and RNG stream.
-    pub fn new(profile: DiskProfile, rng: StdRng) -> Self {
+    pub fn new(profile: DiskProfile, rng: SimRng) -> Self {
         Disk {
             profile,
             rng,
@@ -150,8 +147,7 @@ impl Disk {
             (req.offset as i64 - self.head_offset as i64).unsigned_abs() as f64 / cap as f64;
         let offset_frac = req.offset as f64 / cap as f64;
         let mut service = self.profile.read_time(seek_frac, offset_frac, req.len);
-        if self.profile.blip_probability > 0.0
-            && self.rng.gen::<f64>() < self.profile.blip_probability
+        if self.profile.blip_probability > 0.0 && self.rng.gen_f64() < self.profile.blip_probability
         {
             let mult = sample_bounded_pareto(
                 &mut self.rng,

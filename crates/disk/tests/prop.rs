@@ -1,9 +1,12 @@
 //! Property tests for the disk model: FIFO completion order, service-time
 //! lower bounds, zone monotonicity, and capacity math stability.
-
-use proptest::prelude::*;
+//!
+//! Ported from `proptest` to the in-tree `tiger_sim::check` harness: each
+//! property runs over many deterministically seeded cases, and failures
+//! report a replayable case seed.
 
 use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
+use tiger_sim::check::{check, vec_of};
 use tiger_sim::{ByteSize, RngTree, SimDuration, SimTime};
 
 fn quiet_disk(seed: u64) -> Disk {
@@ -13,14 +16,15 @@ fn quiet_disk(seed: u64) -> Disk {
     )
 }
 
-proptest! {
-    /// Completions come back in submission order (the model is FIFO) and
-    /// strictly after their submission.
-    #[test]
-    fn completions_are_fifo(
-        reqs in proptest::collection::vec((0u64..2_000_000_000u64, 1u64..300_000), 1..60),
-        seed in 0u64..1000,
-    ) {
+/// Completions come back in submission order (the model is FIFO) and
+/// strictly after their submission.
+#[test]
+fn completions_are_fifo() {
+    check("completions_are_fifo", |rng| {
+        let reqs = vec_of(rng, 1..60, |r| {
+            (r.gen_range(0u64..2_000_000_000), r.gen_range(1u64..300_000))
+        });
+        let seed = rng.gen_range(0u64..1000);
         let mut d = quiet_disk(seed);
         let cap = d.profile().capacity.as_bytes();
         let mut prev = SimTime::ZERO;
@@ -28,75 +32,90 @@ proptest! {
             let now = SimTime::from_millis(i as u64);
             let offset = off % (cap - len);
             let done = d
-                .submit(now, DiskRequest {
-                    offset,
-                    len: ByteSize::from_bytes(len),
-                    kind: RequestKind::Primary,
-                })
+                .submit(
+                    now,
+                    DiskRequest {
+                        offset,
+                        len: ByteSize::from_bytes(len),
+                        kind: RequestKind::Primary,
+                    },
+                )
                 .expect("in range");
-            prop_assert!(done > now, "completion not after submission");
-            prop_assert!(done > prev, "completion order violated FIFO");
+            assert!(done > now, "completion not after submission");
+            assert!(done > prev, "completion order violated FIFO");
             prev = done;
         }
-    }
+    });
+}
 
-    /// Service time is bounded below by the pure transfer time of the
-    /// request's zone and above by full positioning plus the slowest zone.
-    #[test]
-    fn service_time_bounds(
-        off in 0u64..2_000_000_000u64,
-        len in 1u64..300_000u64,
-        seed in 0u64..1000,
-    ) {
+/// Service time is bounded below by the pure transfer time of the
+/// request's zone and above by full positioning plus the slowest zone.
+#[test]
+fn service_time_bounds() {
+    check("service_time_bounds", |rng| {
+        let off = rng.gen_range(0u64..2_000_000_000);
+        let len = rng.gen_range(1u64..300_000);
+        let seed = rng.gen_range(0u64..1000);
         let mut d = quiet_disk(seed);
         let profile = d.profile().clone();
         let cap = profile.capacity.as_bytes();
         let offset = off % (cap - len);
         let done = d
-            .submit(SimTime::ZERO, DiskRequest {
-                offset,
-                len: ByteSize::from_bytes(len),
-                kind: RequestKind::Primary,
-            })
+            .submit(
+                SimTime::ZERO,
+                DiskRequest {
+                    offset,
+                    len: ByteSize::from_bytes(len),
+                    kind: RequestKind::Primary,
+                },
+            )
             .expect("in range");
         let service = done - SimTime::ZERO;
         let frac = offset as f64 / cap as f64;
-        let transfer = profile.rate_at(frac).time_to_move(ByteSize::from_bytes(len));
-        prop_assert!(service >= transfer, "faster than the media");
+        let transfer = profile
+            .rate_at(frac)
+            .time_to_move(ByteSize::from_bytes(len));
+        assert!(service >= transfer, "faster than the media");
         let worst = profile.max_seek
             + profile.avg_rotational_latency()
             + profile.overhead
             + profile.rate_at(1.0).time_to_move(ByteSize::from_bytes(len));
-        prop_assert!(
+        assert!(
             service <= worst + SimDuration::from_nanos(1),
             "slower than worst positioning + slowest zone"
         );
-    }
+    });
+}
 
-    /// Reading the same extent from a slower (inner) zone never takes less
-    /// time than from a faster (outer) zone, all else equal.
-    #[test]
-    fn inner_zones_never_beat_outer(len in 1u64..300_000u64) {
+/// Reading the same extent from a slower (inner) zone never takes less
+/// time than from a faster (outer) zone, all else equal.
+#[test]
+fn inner_zones_never_beat_outer() {
+    check("inner_zones_never_beat_outer", |rng| {
+        let len = rng.gen_range(1u64..300_000);
         let profile = DiskProfile::sosp97();
         let mut prev = SimDuration::MAX;
         for z in 0..profile.num_zones {
             let frac = (f64::from(z) + 0.5) / f64::from(profile.num_zones);
-            let t = profile.rate_at(frac).time_to_move(ByteSize::from_bytes(len));
-            prop_assert!(t >= SimDuration::ZERO);
+            let t = profile
+                .rate_at(frac)
+                .time_to_move(ByteSize::from_bytes(len));
+            assert!(t >= SimDuration::ZERO);
             if z > 0 {
-                prop_assert!(t >= prev, "inner zone faster than outer");
+                assert!(t >= prev, "inner zone faster than outer");
             }
             prev = t;
         }
-    }
+    });
+}
 
-    /// The worst-case read used for capacity derivation dominates any
-    /// average-seek read of the same shape within the primary region.
-    #[test]
-    fn worst_case_read_dominates_primary_region(
-        off_frac_milli in 0u64..499,
-        decl in 1u32..8,
-    ) {
+/// The worst-case read used for capacity derivation dominates any
+/// average-seek read of the same shape within the primary region.
+#[test]
+fn worst_case_read_dominates_primary_region() {
+    check("worst_case_read_dominates_primary_region", |rng| {
+        let off_frac_milli = rng.gen_range(0u64..499);
+        let decl = rng.gen_range(1u32..8);
         let profile = DiskProfile::sosp97();
         let block = ByteSize::from_bytes(250_000);
         let worst = profile.worst_case_read(block, decl, false);
@@ -106,9 +125,9 @@ proptest! {
             + profile.avg_rotational_latency()
             + profile.overhead
             + profile.rate_at(frac).time_to_move(block);
-        prop_assert!(
+        assert!(
             worst + SimDuration::from_nanos(1) >= avg,
             "worst case {worst:?} beaten by primary-region read {avg:?} at {frac}"
         );
-    }
+    });
 }

@@ -1,8 +1,6 @@
 //! Control-message latency model.
 
-use rand::Rng;
-
-use tiger_sim::SimDuration;
+use tiger_sim::{SimDuration, SimRng};
 
 /// One-way latency for control messages: a fixed base plus uniform jitter.
 ///
@@ -37,7 +35,7 @@ impl LatencyModel {
     }
 
     /// Draws one latency sample.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         if self.jitter.is_zero() {
             return self.base;
         }

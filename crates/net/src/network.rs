@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-
-use tiger_sim::{Bandwidth, Counter, SimDuration, SimTime};
+use tiger_sim::{Bandwidth, Counter, SimDuration, SimRng, SimTime};
 
 use crate::latency::LatencyModel;
 use crate::nic::Nic;
@@ -58,7 +56,7 @@ impl std::error::Error for NetError {}
 #[derive(Debug)]
 pub struct Network {
     latency: LatencyModel,
-    rng: StdRng,
+    rng: SimRng,
     nics: Vec<Nic>,
     failed: Vec<bool>,
     /// Last delivery time per ordered (src, dst) pair, enforcing FIFO.
@@ -71,7 +69,7 @@ pub struct Network {
 impl Network {
     /// Creates a network with `nodes` nodes, each with a NIC of
     /// `nic_capacity`, a shared latency model, and a dedicated RNG stream.
-    pub fn new(nodes: u32, nic_capacity: Bandwidth, latency: LatencyModel, rng: StdRng) -> Self {
+    pub fn new(nodes: u32, nic_capacity: Bandwidth, latency: LatencyModel, rng: SimRng) -> Self {
         Network {
             latency,
             rng,

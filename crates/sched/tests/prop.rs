@@ -1,14 +1,17 @@
 //! Property tests on the schedule structures: the view's merge rules and
 //! the network schedule's capacity invariant under arbitrary operation
 //! sequences.
-
-use proptest::prelude::*;
+//!
+//! Ported from `proptest` to the in-tree `tiger_sim::check` harness: each
+//! property runs over many deterministically seeded cases, and failures
+//! report a replayable case seed.
 
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::{BlockNum, FileId, ViewerId};
 use tiger_sched::view::ViewApply;
 use tiger_sched::{Deschedule, NetworkSchedule, ScheduleView, SlotId, StreamKind, ViewerState};
-use tiger_sim::{Bandwidth, SimDuration, SimTime};
+use tiger_sim::check::{check, vec_of};
+use tiger_sim::{Bandwidth, SimDuration, SimRng, SimTime};
 
 fn vs(slot: u32, viewer: u64, incarnation: u32, play_seq: u32) -> ViewerState {
     ViewerState {
@@ -48,87 +51,100 @@ enum Op {
     },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..6, 0u64..4, 0u32..2, 0u32..30, 0u64..10_000).prop_map(
-            |(slot, viewer, incarnation, play_seq, at_ms)| Op::Apply {
-                slot,
-                viewer,
-                incarnation,
-                play_seq,
-                at_ms
-            }
-        ),
-        (0u32..6, 0u64..4, 0u32..2, 0u64..10_000, 0u64..5_000).prop_map(
-            |(slot, viewer, incarnation, at_ms, hold_ms)| Op::Deschedule {
-                slot,
-                viewer,
-                incarnation,
-                at_ms,
-                hold_ms
-            }
-        ),
-        (0u64..10_000).prop_map(|at_ms| Op::Gc { at_ms }),
-    ]
+fn arb_op(rng: &mut SimRng) -> Op {
+    match rng.gen_range(0u32..3) {
+        0 => Op::Apply {
+            slot: rng.gen_range(0u32..6),
+            viewer: rng.gen_range(0u64..4),
+            incarnation: rng.gen_range(0u32..2),
+            play_seq: rng.gen_range(0u32..30),
+            at_ms: rng.gen_range(0u64..10_000),
+        },
+        1 => Op::Deschedule {
+            slot: rng.gen_range(0u32..6),
+            viewer: rng.gen_range(0u64..4),
+            incarnation: rng.gen_range(0u32..2),
+            at_ms: rng.gen_range(0u64..10_000),
+            hold_ms: rng.gen_range(0u64..5_000),
+        },
+        _ => Op::Gc {
+            at_ms: rng.gen_range(0u64..10_000),
+        },
+    }
 }
 
-proptest! {
-    /// Under any operation sequence: a slot never holds two distinct
-    /// primary instances, duplicates are ignored, and a held deschedule
-    /// blocks its target.
-    #[test]
-    fn view_invariants_hold_under_random_ops(ops in proptest::collection::vec(arb_op(), 1..80)) {
+/// Under any operation sequence: a slot never holds two distinct
+/// primary instances, duplicates are ignored, and a held deschedule
+/// blocks its target.
+#[test]
+fn view_invariants_hold_under_random_ops() {
+    check("view_invariants_hold_under_random_ops", |rng| {
+        let mut ops = vec_of(rng, 1..80, arb_op);
         let mut view = ScheduleView::new();
         // Monotonic clock: operations are applied in time order.
-        let mut ops = ops;
         ops.sort_by_key(|op| match op {
             Op::Apply { at_ms, .. } | Op::Deschedule { at_ms, .. } | Op::Gc { at_ms } => *at_ms,
         });
         for op in &ops {
             match *op {
-                Op::Apply { slot, viewer, incarnation, play_seq, at_ms } => {
+                Op::Apply {
+                    slot,
+                    viewer,
+                    incarnation,
+                    play_seq,
+                    at_ms,
+                } => {
                     let record = vs(slot, viewer, incarnation, play_seq);
                     let now = SimTime::from_millis(at_ms);
                     let before = view.primary_entry(SlotId(slot)).copied();
                     let result = view.apply_viewer_state(record, now);
                     match result {
                         ViewApply::Inserted => {
-                            prop_assert!(before.is_none(), "insert into occupied slot");
+                            assert!(before.is_none(), "insert into occupied slot");
                         }
                         ViewApply::Updated => {
                             let b = before.expect("update requires an entry");
-                            prop_assert_eq!(b.instance, record.instance);
-                            prop_assert!(record.play_seq > b.play_seq);
+                            assert_eq!(b.instance, record.instance);
+                            assert!(record.play_seq > b.play_seq);
                         }
                         ViewApply::Duplicate => {
                             let b = before.expect("duplicate requires an entry");
-                            prop_assert!(b.play_seq >= record.play_seq);
+                            assert!(b.play_seq >= record.play_seq);
                         }
                         ViewApply::Conflict => {
                             let b = before.expect("conflict requires an entry");
-                            prop_assert!(b.instance != record.instance);
+                            assert!(b.instance != record.instance);
                             // The existing entry is untouched.
-                            prop_assert_eq!(view.primary_entry(SlotId(slot)), Some(&b));
+                            assert_eq!(view.primary_entry(SlotId(slot)), Some(&b));
                         }
                         ViewApply::Blocked => {
                             let d = Deschedule {
                                 instance: record.instance,
                                 slot: record.slot,
                             };
-                            prop_assert!(view.holds_deschedule(&d));
+                            assert!(view.holds_deschedule(&d));
                         }
                     }
                 }
-                Op::Deschedule { slot, viewer, incarnation, at_ms, hold_ms } => {
+                Op::Deschedule {
+                    slot,
+                    viewer,
+                    incarnation,
+                    at_ms,
+                    hold_ms,
+                } => {
                     let d = Deschedule {
-                        instance: ViewerInstance { viewer: ViewerId(viewer), incarnation },
+                        instance: ViewerInstance {
+                            viewer: ViewerId(viewer),
+                            incarnation,
+                        },
                         slot: SlotId(slot),
                     };
                     let now = SimTime::from_millis(at_ms);
                     view.apply_deschedule(d, now, now + SimDuration::from_millis(hold_ms));
                     // Post: no matching entry survives.
                     for e in view.slot_entries(SlotId(slot)) {
-                        prop_assert!(!d.matches(e), "descheduled entry still present");
+                        assert!(!d.matches(e), "descheduled entry still present");
                     }
                 }
                 Op::Gc { at_ms } => view.gc(SimTime::from_millis(at_ms)),
@@ -141,19 +157,29 @@ proptest! {
                 .iter()
                 .filter(|e| e.kind == StreamKind::Primary)
                 .collect();
-            prop_assert!(primaries.len() <= 1, "slot {} has {} primaries", slot, primaries.len());
+            assert!(
+                primaries.len() <= 1,
+                "slot {} has {} primaries",
+                slot,
+                primaries.len()
+            );
         }
-    }
+    });
+}
 
-    /// The network schedule never exceeds capacity at any ring position,
-    /// no matter what sequence of inserts/aborts/commits/removals runs.
-    #[test]
-    fn net_schedule_never_overcommits(
-        ops in proptest::collection::vec(
-            (0u64..14_000, 1u64..8, 0u8..4u8, 0u64..20),
-            1..120,
-        )
-    ) {
+/// The network schedule never exceeds capacity at any ring position,
+/// no matter what sequence of inserts/aborts/commits/removals runs.
+#[test]
+fn net_schedule_never_overcommits() {
+    check("net_schedule_never_overcommits", |rng| {
+        let ops = vec_of(rng, 1..120, |r| {
+            (
+                r.gen_range(0u64..14_000),
+                r.gen_range(1u64..8),
+                r.gen_range(0u8..4),
+                r.gen_range(0u64..20),
+            )
+        });
         let capacity = Bandwidth::from_mbit_per_sec(20);
         let mut sched = NetworkSchedule::new(
             14,
@@ -170,12 +196,9 @@ proptest! {
                         viewer: ViewerId(start_ms ^ mbit),
                         incarnation: 0,
                     };
-                    if let Ok(id) = sched.insert(
-                        inst,
-                        start,
-                        Bandwidth::from_mbit_per_sec(mbit),
-                        action == 1,
-                    ) {
+                    if let Ok(id) =
+                        sched.insert(inst, start, Bandwidth::from_mbit_per_sec(mbit), action == 1)
+                    {
                         ids.push(id);
                     }
                 }
@@ -196,35 +219,36 @@ proptest! {
             // Invariant: load never exceeds capacity anywhere.
             let mut pos = SimDuration::ZERO;
             while pos < sched.len_duration() {
-                prop_assert!(
-                    sched.load_at(pos) <= capacity,
-                    "overcommitted at {:?}", pos
-                );
+                assert!(sched.load_at(pos) <= capacity, "overcommitted at {:?}", pos);
                 pos += SimDuration::from_millis(125);
             }
         }
-    }
+    });
+}
 
-    /// Deschedule + viewer-state interleavings: after a deschedule is
-    /// applied, no interleaving of late viewer states for that instance
-    /// (any play_seq) can resurrect it while the deschedule is held.
-    #[test]
-    fn no_spontaneous_reschedule(
-        play_seqs in proptest::collection::vec(0u32..50, 1..20),
-        hold_ms in 1_000u64..10_000,
-    ) {
+/// Deschedule + viewer-state interleavings: after a deschedule is
+/// applied, no interleaving of late viewer states for that instance
+/// (any play_seq) can resurrect it while the deschedule is held.
+#[test]
+fn no_spontaneous_reschedule() {
+    check("no_spontaneous_reschedule", |rng| {
+        let play_seqs = vec_of(rng, 1..20, |r| r.gen_range(0u32..50));
+        let hold_ms = rng.gen_range(1_000u64..10_000);
         let mut view = ScheduleView::new();
         let record = vs(3, 7, 0, 0);
         view.apply_viewer_state(record, SimTime::ZERO);
-        let d = Deschedule { instance: record.instance, slot: record.slot };
+        let d = Deschedule {
+            instance: record.instance,
+            slot: record.slot,
+        };
         let now = SimTime::from_millis(100);
         view.apply_deschedule(d, now, now + SimDuration::from_millis(hold_ms));
         for (i, seq) in play_seqs.iter().enumerate() {
             let t = SimTime::from_millis(101 + i as u64);
             let late = vs(3, 7, 0, *seq);
             let r = view.apply_viewer_state(late, t);
-            prop_assert_eq!(r, ViewApply::Blocked, "late state resurrected the viewer");
+            assert_eq!(r, ViewApply::Blocked, "late state resurrected the viewer");
         }
-        prop_assert!(view.believes_slot_free(SlotId(3)));
-    }
+        assert!(view.believes_slot_free(SlotId(3)));
+    });
 }

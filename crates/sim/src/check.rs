@@ -1,0 +1,168 @@
+//! A small in-tree property-testing harness.
+//!
+//! Replaces the registry `proptest` dependency with the subset this
+//! codebase actually needs: run a property closure over many
+//! deterministically seeded random cases, and on failure report the exact
+//! case seed so the run can be replayed in isolation.
+//!
+//! Each case gets its own [`SimRng`] forked from `(root seed, property
+//! name, case index)` — the same stream-independence discipline the
+//! simulation itself uses — so adding cases to one property never perturbs
+//! another, and a failing seed is stable across the whole suite.
+//!
+//! There is deliberately no shrinking: case generation here is simple
+//! enough (bounded ints, small vecs) that replaying the one failing seed
+//! is a fine debugging workflow. Knobs, via environment variables:
+//!
+//! * `TIGER_PROP_CASES` — cases per property (default 256).
+//! * `TIGER_PROP_SEED` — root seed for the whole suite (default 0).
+//! * `TIGER_PROP_REPLAY` — run only the one case with this case seed,
+//!   as printed by a failure report.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{RngTree, SimRng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u64 = 256;
+
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    match parse_u64(&v) {
+        Some(x) => Some(x),
+        None => panic!("{name} must be an integer (decimal or 0x-hex), got {v:?}"),
+    }
+}
+
+fn parse_u64(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Runs `property` over [`DEFAULT_CASES`] seeded cases (see module docs
+/// for environment overrides). The closure receives a fresh, case-specific
+/// [`SimRng`] and should `assert!`/`panic!` on violation; returning
+/// normally passes the case.
+///
+/// Panics with the property name, case index, and replayable case seed on
+/// the first failure.
+pub fn check(name: &str, property: impl Fn(&mut SimRng)) {
+    check_cases(
+        name,
+        env_u64("TIGER_PROP_CASES").unwrap_or(DEFAULT_CASES),
+        property,
+    );
+}
+
+/// [`check`] with an explicit case count (`TIGER_PROP_CASES` still wins if
+/// set, so one environment knob scales the whole suite).
+pub fn check_cases(name: &str, cases: u64, property: impl Fn(&mut SimRng)) {
+    let cases = env_u64("TIGER_PROP_CASES").unwrap_or(cases);
+    let root = env_u64("TIGER_PROP_SEED").unwrap_or(0);
+    let tree = RngTree::new(root).subtree(name, 0);
+
+    if let Some(replay) = env_u64("TIGER_PROP_REPLAY") {
+        let mut rng = SimRng::from_seed(replay);
+        property(&mut rng);
+        return;
+    }
+
+    for case in 0..cases {
+        // The case seed is what failure reports print; reconstruct the
+        // same SimRng the tree-fork would produce.
+        let case_seed = tree.subtree("case", case).seed();
+        let mut rng = SimRng::from_seed(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (case seed {case_seed:#018x}):\n  {msg}\n\
+                 replay with: TIGER_PROP_REPLAY={case_seed:#x} cargo test {name}"
+            );
+        }
+    }
+}
+
+/// Generates a vector whose length is drawn from `len` and whose elements
+/// come from `item` — the `proptest::collection::vec` workhorse.
+pub fn vec_of<T>(
+    rng: &mut SimRng,
+    len: std::ops::Range<usize>,
+    mut item: impl FnMut(&mut SimRng) -> T,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| item(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u64);
+        check_cases("always-true", 64, |_rng| {
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_reports_case_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_cases("fails-eventually", 64, |rng| {
+                let x = rng.gen_range(0u64..100);
+                assert!(x < 2, "x was {x}");
+            });
+        }));
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("string panic payload");
+        assert!(msg.contains("fails-eventually"), "{msg}");
+        assert!(msg.contains("TIGER_PROP_REPLAY"), "{msg}");
+        assert!(msg.contains("case seed"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            // Interior mutability: the property closure is `Fn`, so record
+            // each case's first draw through a RefCell.
+            let seen = std::cell::RefCell::new(Vec::new());
+            check_cases("determinism", 16, |rng| {
+                seen.borrow_mut().push(rng.next_u64());
+            });
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        let first_draw = |name: &str| {
+            let v = std::cell::Cell::new(0u64);
+            check_cases(name, 1, |rng| v.set(rng.next_u64()));
+            v.get()
+        };
+        assert_ne!(first_draw("prop-a"), first_draw("prop-b"));
+    }
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..200 {
+            let v = vec_of(&mut rng, 1..7, |r| r.gen_range(0u32..10));
+            assert!((1..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -11,7 +11,13 @@
 //! Determinism contract: a simulation driven by [`EventQueue`] is a pure
 //! function of its inputs. Ties in event time are broken by insertion
 //! sequence number, so iteration order never depends on heap internals.
+//!
+//! The whole substrate is dependency-free: the PRNG ([`SimRng`], a
+//! splitmix64-seeded xoshiro256++) and the property-test harness
+//! ([`check`]) live in this crate, so builds are replayable with an empty
+//! cargo registry (`CARGO_NET_OFFLINE=1`).
 
+pub mod check;
 pub mod event;
 pub mod metrics;
 pub mod rng;
@@ -19,7 +25,7 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use metrics::{BusyTracker, Counter, Histogram, Series, TimeWeightedMean};
-pub use rng::RngTree;
+pub use rng::{RngTree, SimRng};
 pub use time::{Bandwidth, ByteSize, SimDuration, SimTime};
 
 /// A `HashMap` with a fixed-key hasher: iteration order is a pure function

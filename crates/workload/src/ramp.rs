@@ -6,8 +6,6 @@
 //! 600 to 602 streams), waiting for at least 50s and then recording
 //! various system load factors."
 
-use rand::Rng;
-
 use tiger_core::{LossReport, TigerConfig, TigerSystem, WindowSample};
 use tiger_layout::CubId;
 use tiger_sim::{RngTree, SimDuration, SimTime};

@@ -5,8 +5,6 @@
 //! to a cub. We inspected the clients' logs and found about 8 seconds
 //! between the earliest and latest lost block."
 
-use rand::Rng;
-
 use tiger_core::{TigerConfig, TigerSystem};
 use tiger_layout::CubId;
 use tiger_sim::{RngTree, SimDuration, SimTime};

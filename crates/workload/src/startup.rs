@@ -5,8 +5,6 @@
 //! black line represents the mean of the starts at that particular
 //! schedule load."
 
-use rand::Rng;
-
 use tiger_core::{TigerConfig, TigerSystem};
 use tiger_layout::CubId;
 use tiger_sim::{RngTree, SimDuration, SimTime};

@@ -5,8 +5,6 @@
 //! exists to make exactly this kind of churn safe; this driver generates
 //! it at scale for tests and benches.
 
-use rand::Rng;
-
 use tiger_core::{TigerConfig, TigerSystem};
 use tiger_layout::ids::ViewerInstance;
 use tiger_sim::{RngTree, SimDuration, SimTime};
@@ -77,15 +75,15 @@ pub fn run_vcr(cfg: &VcrConfig) -> VcrResult {
         let mut current: ViewerInstance = sys.request_start(t0, client, file);
         if (i as f64) < f64::from(cfg.viewers) * cfg.interactive_fraction {
             // An interactive session: play, pause, resume, maybe seek.
-            let pause_at = t0 + SimDuration::from_secs(rng.gen_range(10..30));
+            let pause_at = t0 + SimDuration::from_secs(rng.gen_range(10u64..30));
             sys.request_pause(pause_at, current);
             pauses += 1;
-            let resume_at = pause_at + SimDuration::from_secs(rng.gen_range(3..20));
+            let resume_at = pause_at + SimDuration::from_secs(rng.gen_range(3u64..20));
             current = sys.request_resume(resume_at, current);
             resumes += 1;
             if rng.gen_bool(0.5) {
-                let seek_at = resume_at + SimDuration::from_secs(rng.gen_range(10..25));
-                let target = rng.gen_range(0..200);
+                let seek_at = resume_at + SimDuration::from_secs(rng.gen_range(10u64..25));
+                let target = rng.gen_range(0u32..200);
                 sys.request_seek(seek_at, current, target);
                 seeks += 1;
             }

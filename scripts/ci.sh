@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 gate, run fully offline to prove the workspace has no external
+# dependencies (see DESIGN.md "Dependencies" and README "The
+# dependency-free substrate").
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=1
+
+echo "== tier-1: cargo build --release" >&2
+cargo build --release
+
+echo "== tier-1: cargo test -q" >&2
+cargo test -q
+
+echo "== full workspace tests" >&2
+cargo test -q --workspace
+
+# Formatting is checked when a rustfmt is available; its absence must not
+# fail the gate on minimal toolchains.
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check" >&2
+    cargo fmt --check
+else
+    echo "== cargo fmt unavailable; skipping format check" >&2
+fi
+
+# No registry crates may creep back into any manifest.
+if grep -rn --include=Cargo.toml -E '^\s*(rand|proptest|criterion|serde)\b' .; then
+    echo "ERROR: external registry dependency found in a Cargo.toml" >&2
+    exit 1
+fi
+
+echo "ci: all gates passed" >&2

@@ -4,17 +4,27 @@
 //! striping is a bijection per lap, mirror pieces always avoid their
 //! primary, the exact slot partition tiles the ring, ownership is unique,
 //! and the restriper conserves blocks.
-
-use proptest::prelude::*;
+//!
+//! Ported from `proptest` to the in-tree `tiger_sim::check` harness: each
+//! property runs over many deterministically seeded cases, and failures
+//! report a replayable case seed.
 
 use tiger::layout::{BlockNum, DiskId, MirrorPlacement, StripeConfig};
 use tiger::sched::{ScheduleParams, SlotId};
-use tiger::sim::{Bandwidth, ByteSize, SimDuration, SimTime};
+use tiger::sim::check::check;
+use tiger::sim::{Bandwidth, ByteSize, SimDuration, SimRng, SimTime};
 
-fn arb_stripe() -> impl Strategy<Value = StripeConfig> {
-    (2u32..20, 1u32..5, 1u32..5).prop_filter_map("decluster must fit the ring", |(cubs, dpc, d)| {
-        (d < cubs * dpc).then(|| StripeConfig::new(cubs, dpc, d))
-    })
+/// An arbitrary geometry where the decluster factor fits the ring
+/// (rejection-samples the rare `d >= cubs * dpc` draw).
+fn arb_stripe(rng: &mut SimRng) -> StripeConfig {
+    loop {
+        let cubs = rng.gen_range(2u32..20);
+        let dpc = rng.gen_range(1u32..5);
+        let d = rng.gen_range(1u32..5);
+        if d < cubs * dpc {
+            return StripeConfig::new(cubs, dpc, d);
+        }
+    }
 }
 
 fn params_for(stripe: StripeConfig, disk_ms: u64) -> ScheduleParams {
@@ -27,89 +37,96 @@ fn params_for(stripe: StripeConfig, disk_ms: u64) -> ScheduleParams {
     )
 }
 
-proptest! {
-    #[test]
-    fn striping_visits_every_disk_once_per_lap(
-        stripe in arb_stripe(),
-        start in 0u32..1000,
-    ) {
+#[test]
+fn striping_visits_every_disk_once_per_lap() {
+    check("striping_visits_every_disk_once_per_lap", |rng| {
+        let stripe = arb_stripe(rng);
+        let start = rng.gen_range(0u32..1000);
         let n = stripe.num_disks();
         let start = DiskId(start % n);
         let mut seen = vec![false; n as usize];
         for b in 0..n {
             let loc = stripe.block_location(start, BlockNum(b));
-            prop_assert!(!seen[loc.disk.index()], "disk visited twice in one lap");
+            assert!(!seen[loc.disk.index()], "disk visited twice in one lap");
             seen[loc.disk.index()] = true;
-            prop_assert_eq!(stripe.cub_of(loc.disk), loc.cub);
+            assert_eq!(stripe.cub_of(loc.disk), loc.cub);
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        assert!(seen.iter().all(|&s| s));
+    });
+}
 
-    #[test]
-    fn mirror_pieces_never_touch_their_primary(
-        stripe in arb_stripe(),
-        disk in 0u32..1000,
-        size in 1u64..2_000_000,
-    ) {
+#[test]
+fn mirror_pieces_never_touch_their_primary() {
+    check("mirror_pieces_never_touch_their_primary", |rng| {
+        let stripe = arb_stripe(rng);
+        let disk = rng.gen_range(0u32..1000);
+        let size = rng.gen_range(1u64..2_000_000);
         let placement = MirrorPlacement::new(stripe);
         let primary = DiskId(disk % stripe.num_disks());
         let pieces = placement.pieces_for(primary, ByteSize::from_bytes(size));
-        prop_assert_eq!(pieces.len() as u32, stripe.decluster);
+        assert_eq!(pieces.len() as u32, stripe.decluster);
         let total: u64 = pieces.iter().map(|p| p.size.as_bytes()).sum();
-        prop_assert_eq!(total, size, "pieces must cover the block exactly");
+        assert_eq!(total, size, "pieces must cover the block exactly");
         for p in &pieces {
-            prop_assert_ne!(p.disk, primary, "a piece on its primary defeats mirroring");
+            assert_ne!(p.disk, primary, "a piece on its primary defeats mirroring");
         }
         // Pieces land on consecutive distinct disks.
         let mut disks: Vec<u32> = pieces.iter().map(|p| p.disk.raw()).collect();
         disks.dedup();
-        prop_assert_eq!(disks.len() as u32, stripe.decluster);
-    }
+        assert_eq!(disks.len() as u32, stripe.decluster);
+    });
+}
 
-    #[test]
-    fn exposure_set_matches_survival_oracle(
-        stripe in arb_stripe(),
-        failed in 0u32..1000,
-        other in 0u32..1000,
-    ) {
+#[test]
+fn exposure_set_matches_survival_oracle() {
+    check("exposure_set_matches_survival_oracle", |rng| {
+        let stripe = arb_stripe(rng);
+        let failed = rng.gen_range(0u32..1000);
+        let other = rng.gen_range(0u32..1000);
         let placement = MirrorPlacement::new(stripe);
         let n = stripe.num_disks();
         let a = DiskId(failed % n);
         let b = DiskId(other % n);
-        prop_assume!(a != b);
+        if a == b {
+            return; // assume a != b (proptest's prop_assume)
+        }
         let exposed = placement.second_failure_exposure(a);
-        prop_assert_eq!(
+        assert_eq!(
             placement.survives(&[a, b]),
             !exposed.contains(&b),
-            "exposure set and survival oracle disagree for {:?},{:?}", a, b
+            "exposure set and survival oracle disagree for {:?},{:?}",
+            a,
+            b
         );
-    }
+    });
+}
 
-    #[test]
-    fn slots_tile_the_ring_for_any_geometry(
-        stripe in arb_stripe(),
-        disk_ms in 40u64..400,
-        probe in 0u64..1_000_000,
-    ) {
+#[test]
+fn slots_tile_the_ring_for_any_geometry() {
+    check("slots_tile_the_ring_for_any_geometry", |rng| {
+        let stripe = arb_stripe(rng);
+        let disk_ms = rng.gen_range(40u64..400);
+        let probe = rng.gen_range(0u64..1_000_000);
         let params = params_for(stripe, disk_ms);
         let len = params.schedule_len().as_nanos();
         let pos = SimDuration::from_nanos(probe.wrapping_mul(0x9e37_79b9) % len);
         let slot = params.slot_at(pos);
-        prop_assert!(slot.raw() < params.capacity());
+        assert!(slot.raw() < params.capacity());
         // slot_start(slot) <= pos < slot_start(slot+1).
-        prop_assert!(params.slot_start(slot) <= pos);
+        assert!(params.slot_start(slot) <= pos);
         if slot.raw() + 1 < params.capacity() {
-            prop_assert!(pos < params.slot_start(SlotId(slot.raw() + 1)));
+            assert!(pos < params.slot_start(SlotId(slot.raw() + 1)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn at_most_one_owner_per_slot_any_geometry(
-        stripe in arb_stripe(),
-        disk_ms in 40u64..400,
-        t_ms in 0u64..500_000,
-        slot_seed in 0u32..1000,
-    ) {
+#[test]
+fn at_most_one_owner_per_slot_any_geometry() {
+    check("at_most_one_owner_per_slot_any_geometry", |rng| {
+        let stripe = arb_stripe(rng);
+        let disk_ms = rng.gen_range(40u64..400);
+        let t_ms = rng.gen_range(0u64..500_000);
+        let slot_seed = rng.gen_range(0u32..1000);
         let params = params_for(stripe, disk_ms);
         let slot = SlotId(slot_seed % params.capacity());
         let t = SimTime::from_millis(t_ms);
@@ -119,17 +136,18 @@ proptest! {
             .map(DiskId)
             .filter(|&d| params.owned_slot_range(d, t).contains(&slot))
             .collect();
-        prop_assert!(brute.len() <= 1, "two disks own {:?} at {:?}", slot, t);
-        prop_assert_eq!(owner, brute.first().copied());
-    }
+        assert!(brute.len() <= 1, "two disks own {:?} at {:?}", slot, t);
+        assert_eq!(owner, brute.first().copied());
+    });
+}
 
-    #[test]
-    fn send_times_advance_one_bpt_per_disk(
-        stripe in arb_stripe(),
-        disk_ms in 40u64..400,
-        slot_seed in 0u32..1000,
-        d in 0u32..1000,
-    ) {
+#[test]
+fn send_times_advance_one_bpt_per_disk() {
+    check("send_times_advance_one_bpt_per_disk", |rng| {
+        let stripe = arb_stripe(rng);
+        let disk_ms = rng.gen_range(40u64..400);
+        let slot_seed = rng.gen_range(0u32..1000);
+        let d = rng.gen_range(0u32..1000);
         let params = params_for(stripe, disk_ms);
         let slot = SlotId(slot_seed % params.capacity());
         let n = stripe.num_disks();
@@ -137,15 +155,16 @@ proptest! {
         let next = stripe.disk_after(disk, 1);
         let t0 = params.slot_send_time(disk, slot, SimTime::from_secs(100));
         let t1 = params.slot_send_time(next, slot, t0);
-        prop_assert_eq!(t1 - t0, params.block_play_time());
-    }
+        assert_eq!(t1 - t0, params.block_play_time());
+    });
+}
 
-    #[test]
-    fn restripe_conserves_blocks(
-        cubs_before in 2u32..10,
-        cubs_after in 2u32..10,
-        files in 1u32..6,
-    ) {
+#[test]
+fn restripe_conserves_blocks() {
+    check("restripe_conserves_blocks", |rng| {
+        let cubs_before = rng.gen_range(2u32..10);
+        let cubs_after = rng.gen_range(2u32..10);
+        let files = rng.gen_range(1u32..6);
         use tiger::layout::catalog::BitrateMode;
         use tiger::layout::{FileCatalog, RestripePlan};
         let old = StripeConfig::new(cubs_before, 2, 1);
@@ -161,19 +180,19 @@ proptest! {
         }
         let plan = RestripePlan::plan(&catalog, old, new);
         let stats = plan.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.moved_blocks + stats.stationary_blocks,
             plan.total_blocks()
         );
         // Every move's endpoints match the two configurations' layouts.
         for m in plan.moves() {
             let meta = catalog.get(m.file).expect("file exists");
-            prop_assert_eq!(old.block_location(meta.start_disk, m.block).disk, m.from);
-            prop_assert_eq!(
+            assert_eq!(old.block_location(meta.start_disk, m.block).disk, m.from);
+            assert_eq!(
                 new.block_location(new.starting_disk(m.file), m.block).disk,
                 m.to
             );
-            prop_assert_ne!(m.from, m.to, "no-op moves must be filtered");
+            assert_ne!(m.from, m.to, "no-op moves must be filtered");
         }
-    }
+    });
 }

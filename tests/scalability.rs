@@ -13,8 +13,6 @@ use tiger::sim::{Bandwidth, SimDuration, SimTime};
 use tiger::workload::{populate_catalog, CatalogSpec};
 use tiger_sim::RngTree;
 
-use rand::Rng;
-
 /// Runs a system of `cubs` cubs at ~70% of its capacity and samples the
 /// peak schedule information any cub holds.
 fn peak_schedule_information(cubs: u32) -> usize {

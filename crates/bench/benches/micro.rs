@@ -19,6 +19,7 @@ use tiger_layout::{BlockNum, DiskId, FileId, MirrorPlacement, StripeConfig, View
 use tiger_sched::{
     Deschedule, NetworkSchedule, ScheduleParams, ScheduleView, SlotId, StreamKind, ViewerState,
 };
+use tiger_sim::EventQueue;
 use tiger_sim::{Bandwidth, ByteSize, SimDuration, SimTime};
 
 fn sosp_params() -> ScheduleParams {
@@ -181,6 +182,49 @@ fn bench_net_schedule(c: &mut Runner) {
     });
 }
 
+fn bench_event_queue(c: &mut Runner) {
+    // Steady-state heap churn at a realistic pending-event population (a
+    // full §5 ramp keeps thousands of events in flight): pop the head,
+    // schedule a replacement a fixed delay out.
+    c.bench_function("event_queue/churn_4k", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..4096u64 {
+            q.schedule(SimTime::from_nanos(i * 1_000), i);
+        }
+        b.iter(|| {
+            let (_, e) = q.pop().expect("queue never drains");
+            q.schedule_in(SimDuration::from_millis(5), e);
+            black_box(e)
+        })
+    });
+    // The hottest dispatch pattern: a handler pops an event and immediately
+    // schedules a follow-up at (or just after) the instant it is running
+    // at, ahead of everything else pending.
+    c.bench_function("event_queue/pop_then_schedule_head", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..4096u64 {
+            q.schedule(SimTime::from_secs(1_000 + i), i);
+        }
+        b.iter(|| {
+            let (now, e) = q.pop().expect("queue never drains");
+            // Follow-up lands before the rest of the backlog.
+            q.schedule(now + SimDuration::from_nanos(1), e);
+            black_box(e)
+        })
+    });
+    // Cold fill: how much does building up a fresh queue cost, including
+    // heap regrowth (the per-run setup path).
+    c.bench_function("event_queue/fill_1k_fresh", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1024u64 {
+                q.schedule(SimTime::from_nanos(i ^ 0x5555), i);
+            }
+            black_box(q.len())
+        })
+    });
+}
+
 fn bench_disk_model(c: &mut Runner) {
     use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
     use tiger_sim::RngTree;
@@ -213,6 +257,7 @@ fn main() {
     bench_view_ops(&mut c);
     bench_layout(&mut c);
     bench_net_schedule(&mut c);
+    bench_event_queue(&mut c);
     bench_disk_model(&mut c);
     c.finish();
 }

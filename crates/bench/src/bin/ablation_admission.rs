@@ -8,26 +8,13 @@
 //! This bench re-enables that code: with an admission limit, late arrivals
 //! are rejected outright instead of waiting out the saturated schedule, so
 //! every admitted viewer starts quickly.
+//!
+//! The two policy runs are independent; the body lives in
+//! `tiger_bench::fleet` and shards them across `TIGER_FLEET_THREADS`
+//! workers (output is identical at any thread count).
 
-use tiger_bench::{header, sosp_tiger};
-use tiger_sim::SimDuration;
-use tiger_workload::{run_startup, CatalogSpec, StartupConfig};
-
-fn run(limit: Option<f64>) -> (usize, f64, f64, usize) {
-    let mut tiger = sosp_tiger();
-    tiger.admission_limit = limit;
-    let cfg = StartupConfig {
-        catalog: CatalogSpec::sized_for(SimDuration::from_secs(2_000), 64),
-        loads: vec![0.5, 0.8, 0.9, 0.95, 1.0],
-        probes_per_load: 40,
-        failed_cub: None,
-        tiger,
-    };
-    let result = run_startup(&cfg);
-    let n = result.samples.len();
-    let mean_high = result.mean_in(0.85, 1.01).unwrap_or(f64::NAN);
-    (n, result.max(), mean_high, result.count_above(20.0))
-}
+use tiger_bench::fleet::{admission_report, threads_from_env, Scale};
+use tiger_bench::header;
 
 fn main() {
     header(
@@ -35,14 +22,6 @@ fn main() {
         "without a limit, starts near 100% load can wait out whole schedule \
          laps; a 90% limit rejects them instead, bounding admitted latency",
     );
-    println!("admission   started  mean>85%load  max_latency  >20s_outliers");
-    for (label, limit) in [("disabled (paper's test)", None), ("90% limit", Some(0.9))] {
-        let (n, max, mean_high, outliers) = run(limit);
-        println!("{label:<22} {n:>7}  {mean_high:>11.2}s {max:>11.2}s  {outliers:>13}",);
-    }
-    println!();
-    println!(
-        "shape: the limit trades availability (fewer admitted starts) for \
-         bounded startup latency — the operational recommendation of §5."
-    );
+    let report = admission_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

@@ -6,11 +6,13 @@
 //! before declaring a silent neighbour dead, plus the mirror-state fill.
 //! Shorter timeouts shrink the window but risk false positives under
 //! latency jitter; this sweep quantifies the first half of that tradeoff.
+//!
+//! The per-timeout power-cut runs are independent; the body lives in
+//! `tiger_bench::fleet` and shards them across `TIGER_FLEET_THREADS`
+//! workers (output is identical at any thread count).
 
-use tiger_bench::{header, sosp_tiger};
-use tiger_layout::CubId;
-use tiger_sim::{SimDuration, SimTime};
-use tiger_workload::{run_reconfig, CatalogSpec, ReconfigConfig};
+use tiger_bench::fleet::{deadman_report, threads_from_env, Scale};
+use tiger_bench::header;
 
 fn main() {
     header(
@@ -18,31 +20,6 @@ fn main() {
         "the ~8 s loss window of §5 is detection latency + takeover fill; \
          it scales with the deadman timeout",
     );
-    println!("timeout  detection_s  loss_window_s  blocks_lost  (50% load, 301 streams)");
-    for timeout_ms in [1_500u64, 3_000, 5_000, 8_000] {
-        let mut tiger = sosp_tiger();
-        tiger.deadman_timeout = SimDuration::from_millis(timeout_ms);
-        let cfg = ReconfigConfig {
-            catalog: CatalogSpec::sized_for(SimDuration::from_secs(260), 16),
-            load: 0.5,
-            victim: CubId(5),
-            cut_at: SimTime::from_secs(120),
-            observe: SimDuration::from_secs(120),
-            tiger,
-        };
-        let r = run_reconfig(&cfg);
-        println!(
-            "{:>6.1}s {:>12.2} {:>14.2} {:>12}",
-            timeout_ms as f64 / 1e3,
-            r.detection_secs.unwrap_or(f64::NAN),
-            r.loss_window_secs,
-            r.blocks_lost,
-        );
-    }
-    println!();
-    println!(
-        "shape: the loss window moves nearly one-for-one with the deadman \
-         timeout; the §5 configuration (5 s timeout) lands near the paper's \
-         ~8 s measurement."
-    );
+    let report = deadman_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

@@ -6,41 +6,18 @@
 //! Conversely, a decluster factor of 2 consumes a third of system bandwidth
 //! for fault tolerance, but can survive failures more than two cubs away
 //! from any other failure."
+//!
+//! Analytic (no simulation); the body lives in `tiger_bench::fleet` so the
+//! `fleet` bin reports it alongside the measured experiments.
 
+use tiger_bench::fleet::{decluster_report, threads_from_env, Scale};
 use tiger_bench::header;
-use tiger_layout::{DiskId, MirrorPlacement, StripeConfig};
-use tiger_sched::ScheduleParams;
-use tiger_sim::{Bandwidth, ByteSize, SimDuration};
 
 fn main() {
     header(
         "Ablation: decluster factor (§2.3 tradeoff)",
         "reserved bandwidth = 1/(d+1); second-failure exposure = 2d machines",
     );
-    println!("decluster  reserved_bw%  exposure(disks)  capacity(56 disks)  svc_time");
-    let disk = tiger_disk::DiskProfile::sosp97();
-    for d in [1u32, 2, 4, 8] {
-        let stripe = StripeConfig::new(14, 4, d);
-        let placement = MirrorPlacement::new(stripe);
-        let worst = disk.worst_case_read(ByteSize::from_bytes(250_000), d, true);
-        let params = ScheduleParams::derive(
-            stripe,
-            SimDuration::from_secs(1),
-            ByteSize::from_bytes(250_000),
-            worst,
-            Bandwidth::from_mbit_per_sec(135),
-        );
-        println!(
-            "{d:>9}  {:>11.1}  {:>15}  {:>18}  {:?}",
-            placement.reserved_bandwidth_fraction() * 100.0,
-            placement.second_failure_exposure(DiskId(20)).len(),
-            params.capacity(),
-            params.block_service_time(),
-        );
-    }
-    println!();
-    println!(
-        "shape: higher decluster -> less reserved bandwidth (higher capacity) \
-         but wider two-failure exposure."
-    );
+    let report = decluster_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

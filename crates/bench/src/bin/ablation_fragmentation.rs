@@ -12,88 +12,14 @@
 //! entries at arbitrary ring positions. With quantization, arrivals are
 //! delayed (by at most one quantum) to the next grid point, so departures
 //! leave grid-aligned gaps that later arrivals can actually reuse.
+//!
+//! The 4 policies × 5 seeds are twenty independent churn runs; the body
+//! lives in `tiger_bench::fleet` and shards them across
+//! `TIGER_FLEET_THREADS` workers (output is identical at any thread
+//! count).
 
+use tiger_bench::fleet::{fragmentation_report, threads_from_env, Scale};
 use tiger_bench::header;
-use tiger_layout::ids::ViewerInstance;
-use tiger_layout::ViewerId;
-use tiger_sched::{NetEntryId, NetworkSchedule};
-use tiger_sim::{Bandwidth, RngTree, SimDuration};
-
-struct ChurnStats {
-    /// Mean number of arrival opportunities a viewer waits before its
-    /// entry fits (1 = admitted at its first position).
-    mean_tries: f64,
-    /// Arrivals that never fit within the retry budget.
-    gave_up: u64,
-    fragmentation: f64,
-    steady_streams: usize,
-}
-
-fn churn(quantum: Option<SimDuration>, seed: u64) -> ChurnStats {
-    let capacity = Bandwidth::from_mbit_per_sec(24);
-    let bpt = SimDuration::from_secs(1);
-    let mut sched = NetworkSchedule::new(14, bpt, capacity, quantum);
-    let ring_ns = sched.len_duration().as_nanos();
-    let mut rng = RngTree::new(seed).fork("frag", 0);
-    let rate = Bandwidth::from_mbit_per_sec(2);
-    let mut live: Vec<(ViewerInstance, NetEntryId)> = Vec::new();
-    let mut next_viewer = 0u64;
-    let mut total_tries = 0u64;
-    let mut admissions = 0u64;
-    let mut gave_up = 0u64;
-    const RETRIES: u64 = 40;
-
-    // An arrival attempts positions derived from successive arrival
-    // instants until one fits (each retry models waiting for a later
-    // opportunity).
-    let mut admit = |sched: &mut NetworkSchedule,
-                     rng: &mut tiger_sim::SimRng,
-                     live: &mut Vec<(ViewerInstance, NetEntryId)>|
-     -> bool {
-        let inst = ViewerInstance {
-            viewer: ViewerId(next_viewer),
-            incarnation: 0,
-        };
-        next_viewer += 1;
-        for attempt in 1..=RETRIES {
-            let arrival = rng.gen_range(0..ring_ns);
-            let start_ns = match quantum {
-                Some(q) => arrival.div_ceil(q.as_nanos()) * q.as_nanos() % ring_ns,
-                None => arrival,
-            };
-            if let Ok(id) = sched.insert(inst, SimDuration::from_nanos(start_ns), rate, false) {
-                live.push((inst, id));
-                total_tries += attempt;
-                admissions += 1;
-                return true;
-            }
-        }
-        gave_up += 1;
-        false
-    };
-
-    // Fill to a high watermark (~93% of the 168-stream ceiling), then churn:
-    // one departure, one arrival, repeatedly. Fragmentation shows up as
-    // arrivals failing to reuse the bandwidth departures freed.
-    let mut rng_fill = RngTree::new(seed).fork("frag-fill", 0);
-    while live.len() < 156 {
-        if !admit(&mut sched, &mut rng_fill, &mut live) {
-            break;
-        }
-    }
-    for _ in 0..2_000 {
-        let idx = rng.gen_range(0..live.len());
-        let (inst, _) = live.swap_remove(idx);
-        sched.remove_instance(inst);
-        admit(&mut sched, &mut rng, &mut live);
-    }
-    ChurnStats {
-        mean_tries: total_tries as f64 / admissions.max(1) as f64,
-        gave_up,
-        fragmentation: sched.fragmentation(rate, SimDuration::from_millis(25)),
-        steady_streams: sched.len(),
-    }
-}
 
 fn main() {
     header(
@@ -101,39 +27,6 @@ fn main() {
         "arbitrary start times fragment the 2-D schedule; quantizing starts \
          to bpt/decluster keeps free bandwidth usable",
     );
-    println!(
-        "start policy        mean_tries  gave_up  fragmentation  steady_streams  (mean of 5 seeds)"
-    );
-    for (label, quantum) in [
-        ("arbitrary", None),
-        ("bpt/2 grid", Some(SimDuration::from_millis(500))),
-        ("bpt/4 grid (paper)", Some(SimDuration::from_millis(250))),
-        ("bpt/8 grid", Some(SimDuration::from_millis(125))),
-    ] {
-        let mut tries = 0.0;
-        let mut gave_up = 0u64;
-        let mut frag = 0.0;
-        let mut steady = 0usize;
-        const SEEDS: u64 = 5;
-        for seed in 0..SEEDS {
-            let s = churn(quantum, seed);
-            tries += s.mean_tries;
-            gave_up += s.gave_up;
-            frag += s.fragmentation;
-            steady += s.steady_streams;
-        }
-        println!(
-            "{label:<18}  {:>10.2}  {:>7}  {:>13.3}  {:>14.1}",
-            tries / SEEDS as f64,
-            gave_up,
-            frag / SEEDS as f64,
-            steady as f64 / SEEDS as f64,
-        );
-    }
-    println!();
-    println!(
-        "shape: under identical churn near saturation, arbitrary starts make \
-         arrivals wait longer (more tries) and leave more free bandwidth \
-         unusable than the bpt/decluster grid."
-    );
+    let report = fragmentation_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

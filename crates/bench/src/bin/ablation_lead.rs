@@ -14,41 +14,13 @@
 //! that cadence. Narrow gaps force frequent, small messages; wide gaps
 //! amortize framing over large batches. Too-small minimum leads squeeze
 //! the read-ahead budget and turn disk blips into missed blocks.
+//!
+//! The four lead-gap runs are independent simulations; the body lives in
+//! `tiger_bench::fleet` and shards them across `TIGER_FLEET_THREADS`
+//! workers (output is identical at any thread count).
 
+use tiger_bench::fleet::{lead_report, threads_from_env, Scale};
 use tiger_bench::header;
-use tiger_core::{TigerConfig, TigerSystem};
-use tiger_layout::CubId;
-use tiger_sim::{Bandwidth, SimDuration, SimTime};
-
-struct Outcome {
-    missing: u64,
-    msgs: u64,
-    bytes: u64,
-}
-
-fn run(min_lead_ms: u64, max_lead_ms: u64) -> Outcome {
-    let mut cfg = TigerConfig::sosp97();
-    cfg.disk = cfg.disk.without_blips(); // isolate protocol-induced lateness
-    cfg.min_vstate_lead = SimDuration::from_millis(min_lead_ms);
-    cfg.max_vstate_lead = SimDuration::from_millis(max_lead_ms);
-    // The batching cadence the lead gap affords (§4.1.1), floored at a
-    // sane minimum.
-    cfg.forward_interval = SimDuration::from_millis((max_lead_ms - min_lead_ms) / 2)
-        .max(SimDuration::from_millis(100));
-    let mut sys = TigerSystem::new(cfg);
-    let file = sys.add_file(Bandwidth::from_mbit_per_sec(2), SimDuration::from_secs(240));
-    for i in 0..200u64 {
-        let client = sys.add_client();
-        sys.request_start(SimTime::from_millis(100 + i * 90), client, file);
-    }
-    sys.run_until(SimTime::from_secs(260));
-    let node = sys.shared().cub_node(CubId(0));
-    Outcome {
-        missing: sys.all_clients_report().blocks_missing,
-        msgs: sys.shared().net.total_control_msgs(node),
-        bytes: sys.shared().net.total_control_bytes(node),
-    }
-}
 
 fn main() {
     header(
@@ -56,28 +28,6 @@ fn main() {
         "a wide min/max gap batches many viewer states per message; \
          a tight minimum lead leaves little slack for disk variance",
     );
-    println!("min_lead  max_lead  missing_blocks  cub0_msgs  cub0_bytes  bytes/msg");
-    for (min_ms, max_ms) in [
-        (800u64, 1_000u64), // barely above the scheduling lead, tiny gap
-        (2_000, 3_000),
-        (4_000, 9_000), // the paper's typical values
-        (4_000, 20_000),
-    ] {
-        let o = run(min_ms, max_ms);
-        println!(
-            "{:>7.1}s {:>8.1}s {:>14} {:>10} {:>11} {:>10.1}",
-            min_ms as f64 / 1e3,
-            max_ms as f64 / 1e3,
-            o.missing,
-            o.msgs,
-            o.bytes,
-            o.bytes as f64 / o.msgs as f64,
-        );
-    }
-    println!();
-    println!(
-        "shape: the paper's 4 s/9 s leads cut per-cub message counts several-fold \
-         versus a tight gap, by amortizing framing over batched viewer states; \
-         bytes/msg grows with the gap."
-    );
+    let report = lead_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

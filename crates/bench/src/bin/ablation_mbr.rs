@@ -4,40 +4,13 @@
 //! between cubs, there will almost always be time for the communication
 //! with the succeeding cub without having to increase the scheduling lead
 //! value."
+//!
+//! The four latency-model runs are independent; the body lives in
+//! `tiger_bench::fleet` and shards them across `TIGER_FLEET_THREADS`
+//! workers (output is identical at any thread count).
 
+use tiger_bench::fleet::{mbr_report, threads_from_env, Scale};
 use tiger_bench::header;
-use tiger_core::{MbrConfig, MbrCoordinator, MbrOutcome, MbrSystem};
-use tiger_net::LatencyModel;
-use tiger_sim::{Bandwidth, RngTree, SimDuration, SimTime};
-
-fn run(latency: LatencyModel, deadline_ms: u64) -> (usize, u64, f64) {
-    let mut cfg = MbrConfig::default_ring();
-    cfg.latency = latency;
-    let mut coord = MbrCoordinator::new(cfg);
-    let mut rng = RngTree::new(11).fork("mbr-bench", 0);
-    let rates = [1u64, 2, 3, 4, 6];
-    let mut committed = 0usize;
-    for i in 0..600u64 {
-        let origin = (i % 14) as u32;
-        let rate = Bandwidth::from_mbit_per_sec(rates[rng.gen_range(0..rates.len())]);
-        let out = coord.try_insert(
-            SimTime::from_millis(i * 40),
-            origin,
-            rate,
-            SimDuration::from_millis(deadline_ms),
-        );
-        match out {
-            MbrOutcome::Committed { .. } => committed += 1,
-            MbrOutcome::RejectedLocal => break,
-            MbrOutcome::Aborted => {}
-        }
-    }
-    (
-        committed,
-        coord.aborted_attempts(),
-        coord.hidden_confirm_fraction(),
-    )
-}
 
 fn main() {
     header(
@@ -45,59 +18,6 @@ fn main() {
         "the reserve round trip overlaps the speculative first-block disk \
          read, so confirmation latency is almost always hidden",
     );
-    println!("latency model       deadline  committed  aborted  confirm_hidden%");
-    for (label, latency, deadline) in [
-        ("LAN 2-10 ms", LatencyModel::lan_default(), 700u64),
-        (
-            "slow 50 ms fixed",
-            LatencyModel::fixed(SimDuration::from_millis(50)),
-            700,
-        ),
-        (
-            "WAN-ish 200 ms",
-            LatencyModel::fixed(SimDuration::from_millis(200)),
-            700,
-        ),
-        (
-            "too slow 400 ms",
-            LatencyModel::fixed(SimDuration::from_millis(400)),
-            700,
-        ),
-    ] {
-        let (committed, aborted, hidden) = run(latency, deadline);
-        println!(
-            "{label:<18}  {deadline:>6}ms  {committed:>9}  {aborted:>7}  {:>14.1}",
-            hidden * 100.0
-        );
-    }
-    println!();
-    println!("-- full message-level protocol (MbrSystem over the simulated network) --");
-    let mut dist = MbrSystem::new(MbrConfig::default_ring(), SimDuration::from_millis(700));
-    let mut rng2 = RngTree::new(23).fork("mbr-dist-bench", 0);
-    let rates = [1u64, 2, 3, 4, 6];
-    for i in 0..600u64 {
-        let rate = Bandwidth::from_mbit_per_sec(rates[rng2.gen_range(0..rates.len())]);
-        dist.request_insert(SimTime::from_millis(i * 40), (i % 14) as u32, rate);
-    }
-    dist.run_until(SimTime::from_secs(60));
-    let stats = dist.stats();
-    println!(
-        "committed {}  aborted {}  rejected-local {}  confirm hidden {:.1}%  \
-         capacity violations {}",
-        stats.committed,
-        stats.aborted,
-        stats.rejected_local,
-        stats.hidden_confirms as f64 / stats.committed.max(1) as f64 * 100.0,
-        stats.violations,
-    );
-    println!(
-        "per-cub reserve/commit control bytes: {} (cub 0)",
-        dist.control_bytes(0)
-    );
-    println!();
-    println!(
-        "shape: within a switched LAN the confirm round trip hides behind the \
-         ~60 ms disk read; only when latency approaches the deadline do \
-         insertions abort (and release their reservations)."
-    );
+    let report = mbr_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

@@ -3,9 +3,12 @@
 //! Ramp +30 streams per ≥50 s step to the full 602-stream capacity; report
 //! mean cub CPU, controller CPU, mean disk load, and control traffic from
 //! one cub to all others.
+//!
+//! The experiment body lives in `tiger_bench::fleet` (shared with the
+//! `fleet` bin); this wrapper runs it at paper scale.
 
-use tiger_bench::{header, settle, sosp_tiger};
-use tiger_workload::{format_ramp_table, run_ramp, RampConfig};
+use tiger_bench::fleet::{fig8_report, threads_from_env, Scale};
+use tiger_bench::header;
 
 fn main() {
     header(
@@ -13,34 +16,6 @@ fn main() {
         "cub CPU & disk load linear in streams; controller flat; \
          control traffic < ~21 KB/s at 602 streams",
     );
-    // A short hold at the top lets the final insertions land (insertions
-    // near 100% load can take most of the 56 s schedule, §5).
-    let cfg = RampConfig {
-        hold_at_peak: tiger_sim::SimDuration::from_secs(100),
-        ..RampConfig::fig8(sosp_tiger(), settle())
-    };
-    let result = run_ramp(&cfg);
-    print!(
-        "{}",
-        format_ramp_table("Figure 8 (unfailed ramp to 602)", &result.windows)
-    );
-    println!();
-    println!(
-        "blocks scheduled: {}  sent: {}  server missed: {}  (1 in {})",
-        result.loss.blocks_scheduled,
-        result.loss.blocks_sent,
-        result.loss.server_missed,
-        result
-            .loss
-            .one_in()
-            .map_or_else(|| "inf".to_string(), |n| n.to_string()),
-    );
-    println!(
-        "client-observed missing: {}  received: {}",
-        result.client_missing, result.client_received
-    );
-    println!(
-        "peak read-ahead buffers: {:.1} MB (testbed cache: 20 MB/cub)",
-        result.peak_buffers as f64 / 1e6
-    );
+    let report = fig8_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

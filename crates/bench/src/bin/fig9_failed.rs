@@ -4,10 +4,12 @@
 //! hour of steady state at full load. Disk load and control traffic are
 //! reported for mirroring cub 6 (the paper reports "one of the cubs that
 //! was mirroring for the failed cub").
+//!
+//! The experiment body lives in `tiger_bench::fleet` (shared with the
+//! `fleet` bin); this wrapper runs it at paper scale.
 
-use tiger_bench::{header, settle, sosp_tiger};
-use tiger_sim::SimDuration;
-use tiger_workload::{format_ramp_table, run_ramp, RampConfig};
+use tiger_bench::fleet::{fig9_report, threads_from_env, Scale};
+use tiger_bench::header;
 
 fn main() {
     header(
@@ -15,37 +17,6 @@ fn main() {
         "mirroring-cub disks >95% duty at 602 streams; cub CPU <=85%; \
          control traffic ~2x the unfailed case",
     );
-    let cfg = RampConfig {
-        hold_at_peak: SimDuration::from_secs(3_600),
-        ..RampConfig::fig9(sosp_tiger(), settle())
-    };
-    let result = run_ramp(&cfg);
-    print!(
-        "{}",
-        format_ramp_table(
-            "Figure 9 (cub 5 failed; disk/control columns report mirroring cub 6)",
-            &result.windows,
-        )
-    );
-    println!();
-    println!(
-        "blocks scheduled: {}  sent (incl. mirror pieces): {}  server missed: {} \
-         ({} of them mirror pieces)  (1 in {})",
-        result.loss.blocks_scheduled,
-        result.loss.blocks_sent,
-        result.loss.server_missed,
-        result.loss.mirror_missed,
-        result
-            .loss
-            .one_in()
-            .map_or_else(|| "inf".to_string(), |n| n.to_string()),
-    );
-    println!(
-        "client-observed missing: {}  received: {}",
-        result.client_missing, result.client_received
-    );
-    println!(
-        "peak read-ahead buffers: {:.1} MB (testbed cache: 20 MB/cub)",
-        result.peak_buffers as f64 / 1e6
-    );
+    let report = fig9_report(Scale::Full, threads_from_env());
+    print!("{}", report.output);
 }

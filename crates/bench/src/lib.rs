@@ -26,6 +26,7 @@
 //! no registry crates and emits machine-readable JSON for the
 //! `BENCH_*.json` trajectory.
 
+pub mod fleet;
 pub mod runner;
 
 use tiger_core::TigerConfig;

@@ -44,14 +44,25 @@ impl Bencher {
 }
 
 /// One benchmark's aggregated result.
-#[derive(Clone, Debug)]
+///
+/// Serialized with a *stable field order* (the order of the fields below)
+/// so `BENCH_*.json` snapshots diff cleanly across PRs and the
+/// `bench_compare` tool can treat missing fields as "older schema".
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchResult {
     /// Benchmark name (`group/function`).
     pub name: String,
     /// Iterations per timed batch after calibration.
     pub iters_per_sample: u64,
+    /// Discarded warm-up batches run before sampling (each of
+    /// `iters_per_sample` iterations).
+    pub warmup_batches: u64,
     /// Timed batches.
     pub samples: u64,
+    /// Threads the runner timed on (always 1 today — batches are timed
+    /// sequentially — recorded so snapshots stay comparable if that
+    /// ever changes).
+    pub threads: u64,
     /// Fastest observed per-iteration time, nanoseconds.
     pub min_ns: f64,
     /// Median per-iteration time, nanoseconds.
@@ -77,6 +88,8 @@ impl Runner {
     const MIN_BATCH: u128 = 5_000_000;
     /// Timed batches per benchmark.
     const SAMPLES: usize = 25;
+    /// Warm-up batches run (and discarded) before sampling.
+    const WARMUP_BATCHES: u64 = 1;
 
     /// Builds a runner from CLI args: the first argument that is not a
     /// `--flag` (cargo passes `--bench`) is a substring filter.
@@ -141,23 +154,29 @@ impl Runner {
         self.results.push(BenchResult {
             name: name.to_string(),
             iters_per_sample: iters,
+            warmup_batches: Self::WARMUP_BATCHES,
             samples: Self::SAMPLES as u64,
+            threads: 1,
             min_ns,
             median_ns,
             mean_ns,
         });
     }
 
-    /// The JSON document for the collected results.
+    /// The JSON document for the collected results. Field order is stable
+    /// (see [`BenchResult`]) so snapshots diff line-by-line across PRs.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
+                "    {{\"name\": {}, \"iters_per_sample\": {}, \"warmup_batches\": {}, \
+                 \"samples\": {}, \"threads\": {}, \
                  \"min_ns\": {:.2}, \"median_ns\": {:.2}, \"mean_ns\": {:.2}}}{}\n",
                 json_string(&r.name),
                 r.iters_per_sample,
+                r.warmup_batches,
                 r.samples,
+                r.threads,
                 r.min_ns,
                 r.median_ns,
                 r.mean_ns,
@@ -179,6 +198,78 @@ impl Runner {
             }
         }
     }
+}
+
+/// Parses a `BENCH_*.json` snapshot produced by [`Runner::to_json`].
+///
+/// This is the inverse of the emitter, not a general JSON parser: it
+/// understands exactly the one-object-per-line shape the runner writes
+/// (names contain no unescaped quotes beyond `\"` handled below). Fields
+/// absent from older snapshots (`warmup_batches`, `threads`) default to
+/// zero, so `bench_compare` can diff across the schema change.
+pub fn parse_snapshot(json: &str) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"name\"") {
+            continue;
+        }
+        let Some(name) = str_field(line, "name") else {
+            continue;
+        };
+        out.push(BenchResult {
+            name,
+            iters_per_sample: num_field(line, "iters_per_sample") as u64,
+            warmup_batches: num_field(line, "warmup_batches") as u64,
+            samples: num_field(line, "samples") as u64,
+            threads: num_field(line, "threads") as u64,
+            min_ns: num_field(line, "min_ns"),
+            median_ns: num_field(line, "median_ns"),
+            mean_ns: num_field(line, "mean_ns"),
+        });
+    }
+    out
+}
+
+/// Extracts the string value of `"key": "..."` from one snapshot line,
+/// undoing the escapes [`json_string`] applies.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": <number>` from one snapshot
+/// line; 0.0 when the key is absent (older schema).
+fn num_field(line: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    let Some(start) = line.find(&pat).map(|i| i + pat.len()) else {
+        return 0.0;
+    };
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or(0.0)
 }
 
 /// Escapes `s` as a JSON string literal.
@@ -220,7 +311,9 @@ mod tests {
         r.results.push(BenchResult {
             name: "group/fn".into(),
             iters_per_sample: 1024,
+            warmup_batches: 1,
             samples: 25,
+            threads: 1,
             min_ns: 12.5,
             median_ns: 13.0,
             mean_ns: 13.2,
@@ -232,6 +325,62 @@ mod tests {
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Stable field order: iters/warmup/samples/threads before timings.
+        let line = json.lines().find(|l| l.contains("group/fn")).unwrap();
+        let order = [
+            "name",
+            "iters_per_sample",
+            "warmup_batches",
+            "samples",
+            "threads",
+            "min_ns",
+        ];
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|k| line.find(&format!("\"{k}\"")).expect(k))
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "field order drifted"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_parser() {
+        let mut r = Runner {
+            filter: None,
+            results: Vec::new(),
+        };
+        r.results.push(BenchResult {
+            name: "event_queue/churn \"4k\"".into(),
+            iters_per_sample: 2048,
+            warmup_batches: 1,
+            samples: 25,
+            threads: 1,
+            min_ns: 53.79,
+            median_ns: 54.44,
+            mean_ns: 56.23,
+        });
+        let parsed = parse_snapshot(&r.to_json());
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "event_queue/churn \"4k\"");
+        assert_eq!(parsed[0].iters_per_sample, 2048);
+        assert_eq!(parsed[0].threads, 1);
+        assert!((parsed[0].median_ns - 54.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_tolerates_older_schema() {
+        // Pre-schema snapshots lack warmup_batches/threads; they parse with
+        // those fields zeroed rather than failing the comparison.
+        let old = "{\n  \"benchmarks\": [\n    \
+                   {\"name\": \"a/b\", \"iters_per_sample\": 64, \"samples\": 25, \
+                   \"min_ns\": 1.00, \"median_ns\": 2.00, \"mean_ns\": 3.00}\n  ]\n}\n";
+        let parsed = parse_snapshot(old);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].warmup_batches, 0);
+        assert_eq!(parsed[0].threads, 0);
+        assert!((parsed[0].median_ns - 2.0).abs() < 1e-9);
     }
 
     #[test]

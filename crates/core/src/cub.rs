@@ -347,8 +347,9 @@ impl Cub {
         }
         self.msgs_processed.incr();
         match msg {
+            Message::ViewerState(vs) => self.on_viewer_state(sh, now, vs),
             Message::ViewerStates(batch) => {
-                for vs in batch {
+                for &vs in batch.iter() {
                     self.on_viewer_state(sh, now, vs);
                 }
             }
@@ -694,12 +695,7 @@ impl Cub {
             };
             let me = sh.cub_node(self.id);
             if let Some(succ) = self.next_living(self.id) {
-                sh.send_control(
-                    now,
-                    me,
-                    sh.cub_node(succ),
-                    Message::ViewerStates(vec![next]),
-                );
+                sh.send_control(now, me, sh.cub_node(succ), Message::ViewerState(next));
                 if sh.cfg.forwarding == ForwardingPolicy::Double {
                     if let Some(second) = self.next_living(succ) {
                         if second != self.id {
@@ -707,7 +703,7 @@ impl Cub {
                                 now,
                                 me,
                                 sh.cub_node(second),
-                                Message::ViewerStates(vec![next]),
+                                Message::ViewerState(next),
                             );
                         }
                     }
@@ -1036,6 +1032,7 @@ impl Cub {
         if !batch.is_empty() {
             let me = sh.cub_node(self.id);
             if let Some(succ) = self.next_living(self.id) {
+                let batch: std::sync::Arc<[ViewerState]> = batch.into();
                 sh.send_control(
                     now,
                     me,
@@ -1375,19 +1372,14 @@ impl Cub {
                         // handle the two-cub ring degenerately.
                         continue;
                     }
-                    sh.send_control(
-                        now,
-                        me,
-                        sh.cub_node(succ),
-                        Message::ViewerStates(vec![next]),
-                    );
+                    sh.send_control(now, me, sh.cub_node(succ), Message::ViewerState(next));
                     if let Some(second) = self.next_living(succ) {
                         if second != self.id {
                             sh.send_control(
                                 now,
                                 me,
                                 sh.cub_node(second),
-                                Message::ViewerStates(vec![next]),
+                                Message::ViewerState(next),
                             );
                         }
                     }

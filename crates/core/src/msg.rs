@@ -4,6 +4,8 @@
 //! Figures 8/9 (the paper cites ~100 bytes for a viewer-state message and
 //! measured < 21 KB/s per cub at full load).
 
+use std::sync::Arc;
+
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::{CubId, FileId};
 use tiger_sched::{Deschedule, SlotId, ViewerState};
@@ -13,11 +15,22 @@ use tiger_sim::SimTime;
 pub const FRAME_BYTES: u64 = 40;
 
 /// A control-plane message between machines.
+///
+/// Messages travel the simulated network by value: every delivery event
+/// owns its `Message`, and double-forwarding (§4.1.1) sends the same
+/// payload to two receivers. The two viewer-state carriers are therefore
+/// shaped for cheap cloning on the event-loop hot path: a single record
+/// rides inline ([`Message::ViewerState`], no allocation at all) and a
+/// batch rides behind an [`Arc`] (cloning the message for the second
+/// forward is a refcount bump, not a `Vec` copy).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
+    /// A single viewer-state record (the mirror-chain and redundant-start
+    /// paths forward one record at a time).
+    ViewerState(ViewerState),
     /// A batch of viewer-state records, grouped per §4.1.1 to reduce
     /// communications overhead.
-    ViewerStates(Vec<ViewerState>),
+    ViewerStates(Arc<[ViewerState]>),
     /// A deschedule request with its remaining propagation hops.
     Deschedule {
         /// The request itself.
@@ -130,6 +143,7 @@ impl Message {
     /// NIC as data bytes).
     pub fn control_bytes(&self) -> u64 {
         match self {
+            Message::ViewerState(_) => FRAME_BYTES + ViewerState::WIRE_BYTES,
             Message::ViewerStates(v) => FRAME_BYTES + ViewerState::WIRE_BYTES * v.len() as u64,
             Message::Deschedule { .. } => FRAME_BYTES + Deschedule::WIRE_BYTES,
             Message::StartRequest { .. } | Message::RoutedStart { .. } => FRAME_BYTES + 60,
@@ -152,10 +166,22 @@ mod tests {
     #[test]
     fn batched_viewer_states_amortize_framing() {
         let vs = dummy_vs();
-        let one = Message::ViewerStates(vec![vs]).control_bytes();
-        let ten = Message::ViewerStates(vec![vs; 10]).control_bytes();
+        let one = Message::ViewerStates(vec![vs].into()).control_bytes();
+        let ten = Message::ViewerStates(vec![vs; 10].into()).control_bytes();
         assert!(ten < 10 * one, "batching must beat individual sends");
         assert_eq!(ten, FRAME_BYTES + 10 * ViewerState::WIRE_BYTES);
+    }
+
+    #[test]
+    fn singleton_viewer_state_matches_batch_of_one() {
+        // The allocation-free singleton must be indistinguishable on the
+        // wire from a one-element batch, so switching send paths cannot
+        // perturb the control-traffic metric.
+        let vs = dummy_vs();
+        assert_eq!(
+            Message::ViewerState(vs).control_bytes(),
+            Message::ViewerStates(vec![vs].into()).control_bytes(),
+        );
     }
 
     #[test]

@@ -149,13 +149,18 @@ impl TigerSystem {
         let clients = (0..cfg.num_clients).map(|_| Client::new()).collect();
         let placement = MirrorPlacement::new(cfg.stripe);
         let num_cubs = cfg.stripe.num_cubs;
+        // Pre-size the event queue for a full-load steady state so long
+        // ramps never regrow the heap mid-run: each active stream keeps a
+        // handful of events in flight (read issue/done, send due/done,
+        // delivery), plus per-node periodic work and driver-queued starts.
+        let queue_hint = params.capacity() as usize * 8 + nodes as usize * 4 + 128;
         let mut sys = TigerSystem {
             shared: Shared {
                 cfg,
                 params,
                 catalog,
                 placement,
-                queue: EventQueue::new(),
+                queue: EventQueue::with_capacity(queue_hint),
                 net,
                 metrics: Metrics::new(),
                 omniscient: None,

@@ -18,8 +18,16 @@
 //! * `TIGER_PROP_SEED` — root seed for the whole suite (default 0).
 //! * `TIGER_PROP_REPLAY` — run only the one case with this case seed,
 //!   as printed by a failure report.
+//! * `TIGER_PROP_THREADS` — shard cases across this many worker threads
+//!   (default 1). Because every case's seed is a pure function of
+//!   `(root seed, property name, case index)`, sharding cannot change any
+//!   case's inputs, and the harness reports the *lowest-index* failure no
+//!   matter which worker hits one first — the failure report is identical
+//!   at every thread count.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::rng::{RngTree, SimRng};
 
@@ -48,8 +56,8 @@ fn parse_u64(v: &str) -> Option<u64> {
 /// normally passes the case.
 ///
 /// Panics with the property name, case index, and replayable case seed on
-/// the first failure.
-pub fn check(name: &str, property: impl Fn(&mut SimRng)) {
+/// the first failure (lowest case index, independent of thread count).
+pub fn check(name: &str, property: impl Fn(&mut SimRng) + Sync) {
     check_cases(
         name,
         env_u64("TIGER_PROP_CASES").unwrap_or(DEFAULT_CASES),
@@ -59,9 +67,10 @@ pub fn check(name: &str, property: impl Fn(&mut SimRng)) {
 
 /// [`check`] with an explicit case count (`TIGER_PROP_CASES` still wins if
 /// set, so one environment knob scales the whole suite).
-pub fn check_cases(name: &str, cases: u64, property: impl Fn(&mut SimRng)) {
+pub fn check_cases(name: &str, cases: u64, property: impl Fn(&mut SimRng) + Sync) {
     let cases = env_u64("TIGER_PROP_CASES").unwrap_or(cases);
     let root = env_u64("TIGER_PROP_SEED").unwrap_or(0);
+    let threads = env_u64("TIGER_PROP_THREADS").unwrap_or(1).max(1);
     let tree = RngTree::new(root).subtree(name, 0);
 
     if let Some(replay) = env_u64("TIGER_PROP_REPLAY") {
@@ -70,24 +79,69 @@ pub fn check_cases(name: &str, cases: u64, property: impl Fn(&mut SimRng)) {
         return;
     }
 
-    for case in 0..cases {
+    // Runs one case; returns its failure message, if any.
+    let run_case = |case: u64| -> Option<String> {
         // The case seed is what failure reports print; reconstruct the
         // same SimRng the tree-fork would produce.
         let case_seed = tree.subtree("case", case).seed();
         let mut rng = SimRng::from_seed(case_seed);
         let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
-        if let Err(payload) = outcome {
-            let msg = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic payload>");
-            panic!(
-                "property '{name}' failed at case {case}/{cases} \
-                 (case seed {case_seed:#018x}):\n  {msg}\n\
-                 replay with: TIGER_PROP_REPLAY={case_seed:#x} cargo test {name}"
-            );
+        let payload = outcome.err()?;
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic payload>");
+        Some(format!(
+            "property '{name}' failed at case {case}/{cases} \
+             (case seed {case_seed:#018x}):\n  {msg}\n\
+             replay with: TIGER_PROP_REPLAY={case_seed:#x} cargo test {name}"
+        ))
+    };
+
+    if threads == 1 || cases < 2 {
+        for case in 0..cases {
+            if let Some(report) = run_case(case) {
+                panic!("{report}");
+            }
         }
+        return;
+    }
+
+    // Parallel shard: workers claim case indices from a shared counter.
+    // Each case is seed-independent, so execution order is irrelevant; the
+    // harness keeps only the lowest-index failure so the report matches the
+    // sequential run. Workers stop claiming once a failure below their next
+    // case is known (later-index failures can't win).
+    let next = AtomicU64::new(0);
+    let failure: Mutex<Option<(u64, String)>> = Mutex::new(None);
+    let workers = threads.min(cases) as usize;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let case = next.fetch_add(1, Ordering::Relaxed);
+                if case >= cases {
+                    return;
+                }
+                if failure
+                    .lock()
+                    .expect("harness lock")
+                    .as_ref()
+                    .is_some_and(|&(c, _)| c < case)
+                {
+                    return; // A strictly earlier failure already won.
+                }
+                if let Some(report) = run_case(case) {
+                    let mut best = failure.lock().expect("harness lock");
+                    if best.as_ref().is_none_or(|&(c, _)| case < c) {
+                        *best = Some((case, report));
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, report)) = failure.into_inner().expect("harness lock") {
+        panic!("{report}");
     }
 }
 
@@ -108,11 +162,13 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        let count = std::cell::Cell::new(0u64);
+        // Atomics, not Cell: the property closure must be Sync so the
+        // harness may shard it across worker threads.
+        let count = AtomicU64::new(0);
         check_cases("always-true", 64, |_rng| {
-            count.set(count.get() + 1);
+            count.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(count.get(), 64);
+        assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 
     #[test]
@@ -135,13 +191,15 @@ mod tests {
     #[test]
     fn cases_are_deterministic_across_runs() {
         let collect = || {
-            // Interior mutability: the property closure is `Fn`, so record
-            // each case's first draw through a RefCell.
-            let seen = std::cell::RefCell::new(Vec::new());
+            // Interior mutability: the property closure is `Fn + Sync`, so
+            // record each case's first draw through a Mutex.
+            let seen = Mutex::new(Vec::new());
             check_cases("determinism", 16, |rng| {
-                seen.borrow_mut().push(rng.next_u64());
+                seen.lock().unwrap().push(rng.next_u64());
             });
-            seen.into_inner()
+            let mut draws = seen.into_inner().unwrap();
+            draws.sort_unstable();
+            draws
         };
         assert_eq!(collect(), collect());
     }
@@ -149,11 +207,48 @@ mod tests {
     #[test]
     fn distinct_properties_get_distinct_streams() {
         let first_draw = |name: &str| {
-            let v = std::cell::Cell::new(0u64);
-            check_cases(name, 1, |rng| v.set(rng.next_u64()));
-            v.get()
+            let v = AtomicU64::new(0);
+            check_cases(name, 1, |rng| v.store(rng.next_u64(), Ordering::Relaxed));
+            v.load(Ordering::Relaxed)
         };
         assert_ne!(first_draw("prop-a"), first_draw("prop-b"));
+    }
+
+    #[test]
+    fn sharded_failure_report_matches_sequential() {
+        // The same failing property must produce a byte-identical report
+        // whether cases run on one thread or several: the harness keeps the
+        // lowest-index failure regardless of which worker finds one first.
+        let report_with_threads = |threads: &str| {
+            std::env::set_var("TIGER_PROP_THREADS", threads);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                check_cases("shard-equivalence", 64, |rng| {
+                    let x = rng.gen_range(0u64..100);
+                    assert!(x < 5, "x was {x}");
+                });
+            }));
+            std::env::remove_var("TIGER_PROP_THREADS");
+            let payload = result.expect_err("property must fail");
+            payload
+                .downcast_ref::<String>()
+                .expect("string panic payload")
+                .clone()
+        };
+        let sequential = report_with_threads("1");
+        let sharded = report_with_threads("3");
+        assert_eq!(sequential, sharded);
+        assert!(sequential.contains("shard-equivalence"), "{sequential}");
+    }
+
+    #[test]
+    fn sharded_run_executes_every_case() {
+        let count = AtomicU64::new(0);
+        std::env::set_var("TIGER_PROP_THREADS", "4");
+        check_cases("shard-coverage", 64, |_rng| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        std::env::remove_var("TIGER_PROP_THREADS");
+        assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Re-runs the micro-benches and compares them against the checked-in
+# BENCH_micro.json snapshot, flagging >10% median regressions.
+#
+#   scripts/bench_compare.sh [filter]
+#
+# The optional filter substring restricts which benches run (and are
+# compared). Tolerance is TIGER_BENCH_TOL (percent, default 10). Exits
+# with bench_compare's status: 1 if any shared benchmark regressed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+SNAPSHOT="BENCH_micro.json"
+FRESH="$(mktemp /tmp/bench_fresh.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+
+export CARGO_NET_OFFLINE=1
+TIGER_BENCH_OUT="$FRESH" cargo bench -p tiger-bench --bench micro -- $FILTER >/dev/null
+
+cargo run --release -q -p tiger-bench --bin bench_compare -- "$SNAPSHOT" "$FRESH"

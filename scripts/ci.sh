@@ -27,6 +27,26 @@ else
     echo "== cargo fmt unavailable; skipping format check" >&2
 fi
 
+# Fleet smoke: the parallel experiment fleet must produce bit-identical
+# stdout at 1 and 2 worker threads (the determinism-under-parallelism
+# contract; see EXPERIMENTS.md "The experiment fleet").
+echo "== fleet smoke: quick fig8 ramp at 1 vs 2 threads" >&2
+FLEET_T1="$(mktemp)" FLEET_T2="$(mktemp)"
+trap 'rm -f "$FLEET_T1" "$FLEET_T2"' EXIT
+cargo run --release -q -p tiger-bench --bin fleet -- \
+    --scale quick --filter fig8 --threads 1 > "$FLEET_T1" 2>/dev/null
+cargo run --release -q -p tiger-bench --bin fleet -- \
+    --scale quick --filter fig8 --threads 2 > "$FLEET_T2" 2>/dev/null
+cmp "$FLEET_T1" "$FLEET_T2"
+
+# Bench trajectory: compare fresh event-queue micro-benches against the
+# checked-in snapshot. Non-fatal — timing on shared CI hardware is too
+# noisy to gate on; the warning is the signal to re-run locally.
+echo "== bench compare vs BENCH_micro.json (non-fatal)" >&2
+if ! scripts/bench_compare.sh event_queue; then
+    echo "WARNING: micro-bench medians regressed vs BENCH_micro.json" >&2
+fi
+
 # No registry crates may creep back into any manifest.
 if grep -rn --include=Cargo.toml -E '^\s*(rand|proptest|criterion|serde)\b' .; then
     echo "ERROR: external registry dependency found in a Cargo.toml" >&2

@@ -19,6 +19,7 @@
 //! * [`sched`] — schedules, viewer-state records, bounded views
 //! * [`core`] — cubs, controller, clients, the distributed protocol
 //! * [`workload`] — workload generators and §5 experiment drivers
+//! * [`bench`] — experiment fleet, bench runner, and snapshot tooling
 //!
 //! ## Quick start
 //!
@@ -36,6 +37,7 @@
 //! assert_eq!(sys.client_report(client).completed_viewers, 1);
 //! ```
 
+pub use tiger_bench as bench;
 pub use tiger_core as core;
 pub use tiger_disk as disk;
 pub use tiger_layout as layout;

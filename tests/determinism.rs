@@ -70,6 +70,65 @@ fn identical_seeds_give_identical_runs() {
     assert!(!a.0.windows.is_empty(), "golden run sampled no windows");
 }
 
+/// The fleet extends the contract to parallel execution: sharding
+/// independent experiments across worker threads must not change one bit
+/// of the merged output, because results merge in shard order, not
+/// completion order.
+#[test]
+fn fleet_output_is_identical_at_any_thread_count() {
+    use tiger::bench::fleet::{metrics_digest, run_fleet, standard_jobs, Scale};
+
+    // A cross-section of the catalogue: two full-system ramps (fig8 and
+    // the multi-seed capacity sweep, which carry merged Metrics), one
+    // data-structure churn sweep, and one analytic sweep. Quick scale
+    // keeps the three runs to seconds.
+    let pick = [
+        "fig8",
+        "capacity_seeds",
+        "ablation_fragmentation",
+        "ablation_decluster",
+    ];
+    let runs: Vec<_> = [1usize, 2, 3]
+        .into_iter()
+        .map(|threads| {
+            let jobs: Vec<_> = standard_jobs()
+                .into_iter()
+                .filter(|j| pick.contains(&j.name))
+                .collect();
+            run_fleet(&jobs, Scale::Quick, threads)
+        })
+        .collect();
+
+    let [one, two, three] = runs.try_into().ok().expect("three runs");
+    assert_eq!(
+        one.merged, two.merged,
+        "merged Metrics diverged at 2 threads"
+    );
+    assert_eq!(
+        one.merged, three.merged,
+        "merged Metrics diverged at 3 threads"
+    );
+    for (a, b) in one.reports.iter().zip(&two.reports) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.output, b.output,
+            "report '{}' diverged at 2 threads",
+            a.name
+        );
+    }
+    for (a, b) in one.reports.iter().zip(&three.reports) {
+        assert_eq!(
+            a.output, b.output,
+            "report '{}' diverged at 3 threads",
+            a.name
+        );
+    }
+    // The runs must have measured something for equality to mean anything.
+    assert!(!one.merged.windows.is_empty(), "fleet sampled no windows");
+    assert!(one.merged.loss.blocks_sent > 0, "fleet sent no blocks");
+    assert_eq!(metrics_digest(&one.merged), metrics_digest(&three.merged));
+}
+
 #[test]
 fn different_seeds_give_different_runs() {
     // The converse sanity check: the seed actually reaches the streams.

@@ -225,6 +225,37 @@ fn bench_event_queue(c: &mut Runner) {
     });
 }
 
+fn bench_trace(c: &mut Runner) {
+    use tiger_trace::{TraceEvent, Tracer};
+    // The trace hooks sit on the protocol hot paths (accept, forward,
+    // disk issue/done, send due/done), so the disabled path must cost
+    // essentially nothing — it is one pointer test. The enabled path is a
+    // ring-slot write; both are far below the cheapest schedule op above.
+    let ev = |i: u32| TraceEvent::SendDone {
+        slot: i % 602,
+        viewer: u64::from(i),
+        inc: 0,
+    };
+    c.bench_function("trace_overhead/record_off", |b| {
+        let mut t = Tracer::disabled();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            t.record(SimTime::from_nanos(u64::from(i)), i % 14, ev(i));
+            black_box(&mut t);
+        })
+    });
+    c.bench_function("trace_overhead/record_on", |b| {
+        let mut t = Tracer::enabled(4096);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            t.record(SimTime::from_nanos(u64::from(i)), i % 14, ev(i));
+            black_box(&mut t);
+        })
+    });
+}
+
 fn bench_disk_model(c: &mut Runner) {
     use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
     use tiger_sim::RngTree;
@@ -258,6 +289,7 @@ fn main() {
     bench_layout(&mut c);
     bench_net_schedule(&mut c);
     bench_event_queue(&mut c);
+    bench_trace(&mut c);
     bench_disk_model(&mut c);
     c.finish();
 }

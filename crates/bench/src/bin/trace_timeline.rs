@@ -1,0 +1,88 @@
+//! Render tiger-trace dumps as human-readable timelines.
+//!
+//! Three modes:
+//!
+//! * `trace_timeline <dump>` — parse one dump (as written by
+//!   `TIGER_TRACE_FILE` or a `TIGER_PROP_REPLAY` auto-dump) and print the
+//!   per-cub / per-slot timeline.
+//! * `trace_timeline --diff <a> <b>` — normalize two dumps and show the
+//!   first divergence with context (e.g. the same seed run on two builds,
+//!   or trace-on vs trace-off repro attempts).
+//! * `trace_timeline --demo` — run a small deterministic scenario (four
+//!   cubs, a handful of viewers, one stop, one power-cut) with tracing on
+//!   and print its timeline. CI pins this output as a golden
+//!   (`results/trace_timeline_demo.txt`).
+
+use std::process::ExitCode;
+
+use tiger_core::{TigerConfig, TigerSystem};
+use tiger_layout::CubId;
+use tiger_sim::{Bandwidth, SimDuration, SimTime};
+use tiger_trace::{parse_dump, render_diff, render_timeline};
+
+const USAGE: &str = "usage: trace_timeline <dump-file>
+       trace_timeline --diff <dump-a> <dump-b>
+       trace_timeline --demo";
+
+/// Lines of context shown around the first divergence in `--diff`.
+const DIFF_CONTEXT: usize = 5;
+
+fn load(path: &str) -> Result<Vec<tiger_trace::TraceRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_dump(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The deterministic demo scenario: small system, scripted workload, one
+/// failure. Everything is fixed (no wall clock, no ambient entropy), so
+/// the timeline is byte-stable and CI can diff it against a golden.
+fn demo() -> String {
+    let mut cfg = TigerConfig::small_test();
+    cfg.disk = cfg.disk.without_blips();
+    let mut sys = TigerSystem::new(cfg);
+    sys.enable_trace(16_384);
+    let film = sys.add_file(Bandwidth::from_mbit_per_sec(2), SimDuration::from_secs(20));
+    let clients: Vec<u32> = (0..3).map(|_| sys.add_client()).collect();
+    let mut viewers = Vec::new();
+    for (i, &c) in clients.iter().enumerate() {
+        let at = SimTime::from_millis(50 + 400 * i as u64);
+        viewers.push(sys.request_start(at, c, film));
+    }
+    // One viewer stops early (exercises the controller deschedule route and
+    // the hold-expiry path); one cub loses power mid-stream (deadman
+    // declaration, failure notices, mirror takeover).
+    sys.request_stop(SimTime::from_secs(6), viewers[1]);
+    sys.fail_cub_at(SimTime::from_secs(9), CubId(2));
+    sys.run_until(SimTime::from_secs(14));
+    render_timeline(&sys.tracer().records())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag] if flag == "--demo" => {
+            print!("{}", demo());
+            Ok(())
+        }
+        [flag, a, b] if flag == "--diff" => {
+            let (ra, rb) = (load(a)?, load(b)?);
+            print!("{}", render_diff(&ra, &rb, DIFF_CONTEXT));
+            Ok(())
+        }
+        [path] if !path.starts_with('-') => {
+            let records = load(path)?;
+            print!("{}", render_timeline(&records));
+            Ok(())
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,6 +13,7 @@ use tiger_layout::ids::ViewerInstance;
 use tiger_layout::{CubId, FileId};
 use tiger_sched::{ScheduleParams, SlotId};
 use tiger_sim::{Counter, SimTime};
+use tiger_trace::{TraceEvent, Tracer, CTRL};
 
 /// What the controller remembers about one viewer.
 #[derive(Clone, Copy, Debug)]
@@ -91,6 +92,7 @@ impl Controller {
         instance: ViewerInstance,
         params: &ScheduleParams,
         now: SimTime,
+        tracer: &mut Tracer,
     ) -> Option<(SlotId, CubId)> {
         self.requests.incr();
         let rec = self.viewers.remove(&instance)?;
@@ -106,7 +108,20 @@ impl Controller {
                 best = Some((t, stripe.cub_of(tiger_layout::DiskId(d))));
             }
         }
-        best.map(|(_, cub)| (slot, cub))
+        let routed = best.map(|(_, cub)| (slot, cub));
+        if let Some((slot, cub)) = routed {
+            tracer.record(
+                now,
+                CTRL,
+                TraceEvent::CtrlRouteDesched {
+                    viewer: instance.viewer.raw(),
+                    inc: instance.incarnation,
+                    slot: slot.raw(),
+                    target: cub.raw(),
+                },
+            );
+        }
+        routed
     }
 
     /// Marks a viewer finished (EOF); frees its record.
@@ -173,13 +188,13 @@ mod tests {
         c.on_insert_committed(inst(1), SlotId(7), SimTime::from_secs(2));
         assert_eq!(c.active_streams(), 1);
         let (slot, cub) = c
-            .on_stop_request(inst(1), &p, SimTime::from_secs(10))
+            .on_stop_request(inst(1), &p, SimTime::from_secs(10), &mut Tracer::disabled())
             .expect("known viewer");
         assert_eq!(slot, SlotId(7));
         assert!(cub.raw() < 4);
         assert_eq!(c.active_streams(), 0);
         assert!(c
-            .on_stop_request(inst(1), &p, SimTime::from_secs(10))
+            .on_stop_request(inst(1), &p, SimTime::from_secs(10), &mut Tracer::disabled())
             .is_none());
     }
 
@@ -190,7 +205,9 @@ mod tests {
         c.on_start_request(inst(1), FileId(0), 5, SimTime::ZERO);
         c.on_insert_committed(inst(1), SlotId(0), SimTime::from_secs(1));
         let now = SimTime::from_secs(10);
-        let (slot, cub) = c.on_stop_request(inst(1), &p, now).expect("known");
+        let (slot, cub) = c
+            .on_stop_request(inst(1), &p, now, &mut Tracer::disabled())
+            .expect("known");
         // Verify the chosen cub really is the next to service the slot.
         let stripe = p.stripe();
         let mut times: Vec<(SimTime, CubId)> = (0..stripe.num_disks())

@@ -17,6 +17,7 @@ use tiger_layout::{BlockIndex, BlockNum, CubId, DiskId, DiskSpace, FileId};
 use tiger_sched::view::ViewApply;
 use tiger_sched::{Deschedule, ScheduleView, SlotId, StreamKind, ViewerState};
 use tiger_sim::{Counter, SimDuration, SimTime};
+use tiger_trace::TraceEvent;
 
 use crate::config::ForwardingPolicy;
 use crate::event::{Event, ServiceToken};
@@ -432,6 +433,12 @@ impl Cub {
             self.cover_failed_disk(sh, now, vs, loc.disk);
         } else {
             // Redundancy copy: shadow it until it is superseded or stale.
+            let (slot, viewer, inc) = vkey(&vs);
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::VsShadow { slot, viewer, inc },
+            );
             let due = sh.params.slot_send_time(loc.disk, vs.slot, now);
             let entry = self
                 .shadows
@@ -445,10 +452,31 @@ impl Cub {
 
     /// Begins normal service of `vs` on local disk `disk`.
     fn accept_service(&mut self, sh: &mut Shared, now: SimTime, vs: ViewerState, disk: DiskId) {
+        let me = self.id.raw();
+        let (slot, viewer, inc) = vkey(&vs);
         match self.view.apply_viewer_state(vs, now) {
             ViewApply::Inserted | ViewApply::Updated => {}
-            ViewApply::Duplicate | ViewApply::Blocked => return,
+            ViewApply::Duplicate => {
+                sh.tracer.record(
+                    now,
+                    me,
+                    TraceEvent::VsDuplicate {
+                        slot,
+                        viewer,
+                        inc,
+                        play_seq: vs.play_seq,
+                    },
+                );
+                return;
+            }
+            ViewApply::Blocked => {
+                sh.tracer
+                    .record(now, me, TraceEvent::VsBlocked { slot, viewer, inc });
+                return;
+            }
             ViewApply::Conflict => {
+                sh.tracer
+                    .record(now, me, TraceEvent::VsConflict { slot, viewer, inc });
                 sh.metrics.violations.push(format!(
                     "{}: conflicting viewer state for {} in {}",
                     self.id, vs.instance, vs.slot
@@ -463,7 +491,18 @@ impl Cub {
             play_seq: vs.play_seq,
         };
         if self.by_key.contains_key(&key) {
-            return; // Already servicing this entry (double-forward duplicate).
+            // Already servicing this entry (double-forward duplicate).
+            sh.tracer.record(
+                now,
+                me,
+                TraceEvent::VsDuplicate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
+            return;
         }
         let send_at = sh.params.slot_send_time(disk, vs.slot, now);
         // A record can only legitimately be up to maxVStateLead early plus
@@ -480,10 +519,31 @@ impl Cub {
         if max_legit_lead < sh.params.schedule_len()
             && send_at.saturating_since(now) > max_legit_lead
         {
+            sh.tracer.record(
+                now,
+                me,
+                TraceEvent::VsLate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
             self.view.retire(vs.slot, &vs);
             sh.metrics.loss.failover_lost += 1;
             return;
         }
+        sh.tracer.record(
+            now,
+            me,
+            TraceEvent::VsAccept {
+                slot,
+                viewer,
+                inc,
+                play_seq: vs.play_seq,
+                position: u64::from(vs.position.raw()),
+            },
+        );
         let meta = sh.catalog.get(vs.file).copied().expect("file known");
         let token = self.alloc_token();
         self.active.insert(
@@ -550,6 +610,17 @@ impl Cub {
     ) {
         let created_key = (vs.slot, vs.instance, vs.position.raw());
         if self.mirrors_created.insert(created_key) {
+            let (slot, viewer, inc) = vkey(&vs);
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::MirrorCreate {
+                    slot,
+                    viewer,
+                    inc,
+                    failed_disk: failed_disk.raw(),
+                },
+            );
             sh.metrics.loss.blocks_scheduled += 1;
             // "When the succeeding cub makes this decision, it creates a
             // special kind of viewer state called a mirror viewer state"
@@ -631,9 +702,20 @@ impl Cub {
             + sh.params
                 .block_play_time()
                 .mul_u64(u64::from(stripe.decluster) + 1);
+        let (slot, viewer, inc) = vkey(&vs);
         if max_legit_lead < sh.params.schedule_len()
             && block_due.saturating_since(now) > max_legit_lead
         {
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::VsLate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
             sh.metrics.loss.failover_lost += 1;
             self.view.retire(vs.slot, &vs);
             return;
@@ -645,10 +727,30 @@ impl Cub {
         let send_at = block_due + piece_gap.mul_u64(u64::from(piece));
         if send_at <= now + SimDuration::from_millis(5) {
             // Too late to read and send this piece.
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::VsLate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
             sh.metrics.loss.failover_lost += 1;
             self.view.retire(vs.slot, &vs);
             return;
         }
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::MirrorAccept {
+                slot,
+                viewer,
+                inc,
+                piece,
+            },
+        );
         let meta = sh.catalog.get(vs.file).copied().expect("file known");
         let piece_payload = meta.payload_size.div_u64_ceil(u64::from(stripe.decluster));
         let token = self.alloc_token();
@@ -695,10 +797,28 @@ impl Cub {
             };
             let me = sh.cub_node(self.id);
             if let Some(succ) = self.next_living(self.id) {
+                sh.tracer.record(
+                    now,
+                    self.id.raw(),
+                    TraceEvent::VsForward {
+                        dst: succ.raw(),
+                        count: 1,
+                        second: false,
+                    },
+                );
                 sh.send_control(now, me, sh.cub_node(succ), Message::ViewerState(next));
                 if sh.cfg.forwarding == ForwardingPolicy::Double {
                     if let Some(second) = self.next_living(succ) {
                         if second != self.id {
+                            sh.tracer.record(
+                                now,
+                                self.id.raw(),
+                                TraceEvent::VsForward {
+                                    dst: second.raw(),
+                                    count: 1,
+                                    second: true,
+                                },
+                            );
                             sh.send_control(
                                 now,
                                 me,
@@ -788,6 +908,17 @@ impl Cub {
         };
         match self.disks[local as usize].submit(now, req) {
             Ok(done) => {
+                let (slot, viewer, inc) = vkey(&entry.vs);
+                sh.tracer.record(
+                    now,
+                    self.id.raw(),
+                    TraceEvent::DiskIssue {
+                        slot,
+                        viewer,
+                        inc,
+                        disk: disk_id.raw(),
+                    },
+                );
                 entry.read_issued = true;
                 entry.buffer_held = true;
                 entry.read_bytes = req.len.as_bytes();
@@ -833,6 +964,12 @@ impl Cub {
             return;
         };
         entry.read_ready = true;
+        let (slot, viewer, inc) = vkey(&entry.vs);
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::DiskDone { slot, viewer, inc },
+        );
         let disk_local = entry.disk_local;
         // The buffer pool recycles aggressively (§2.2's zero-copy path
         // keeps no long-lived cache), so a block is shareable only while
@@ -862,6 +999,17 @@ impl Cub {
         if entry.dropped {
             return;
         }
+        let (slot, viewer, inc) = vkey(&entry.vs);
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::SendDue {
+                slot,
+                viewer,
+                inc,
+                ok: entry.read_ready && !entry.missed,
+            },
+        );
         if entry.missed {
             // The read path already declared this block lost.
             if entry.finished() {
@@ -919,6 +1067,12 @@ impl Cub {
         let Some(entry) = self.active.get(&token).copied() else {
             return;
         };
+        let (slot, viewer, inc) = vkey(&entry.vs);
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::SendDone { slot, viewer, inc },
+        );
         let node = sh.cub_node(self.id);
         sh.net
             .end_stream(now, node, entry.vs.bitrate, entry.payload);
@@ -1033,6 +1187,15 @@ impl Cub {
             let me = sh.cub_node(self.id);
             if let Some(succ) = self.next_living(self.id) {
                 let batch: std::sync::Arc<[ViewerState]> = batch.into();
+                sh.tracer.record(
+                    now,
+                    self.id.raw(),
+                    TraceEvent::VsForward {
+                        dst: succ.raw(),
+                        count: batch.len() as u32,
+                        second: false,
+                    },
+                );
                 sh.send_control(
                     now,
                     me,
@@ -1042,6 +1205,15 @@ impl Cub {
                 if sh.cfg.forwarding == ForwardingPolicy::Double {
                     if let Some(second) = self.next_living(succ) {
                         if second != self.id {
+                            sh.tracer.record(
+                                now,
+                                self.id.raw(),
+                                TraceEvent::VsForward {
+                                    dst: second.raw(),
+                                    count: batch.len() as u32,
+                                    second: true,
+                                },
+                            );
                             sh.send_control(
                                 now,
                                 me,
@@ -1065,7 +1237,25 @@ impl Cub {
         if self.mirrors_created.len() > 100_000 {
             self.mirrors_created.clear();
         }
-        self.view.gc(now);
+        if sh.tracer.on() {
+            // Traced runs observe each hold expiry (at this pass's
+            // granularity); gc_report is behaviorally identical to gc.
+            let me = self.id.raw();
+            let tracer = &mut sh.tracer;
+            self.view.gc_report(now, |d| {
+                tracer.record(
+                    now,
+                    me,
+                    TraceEvent::DeschedExpire {
+                        slot: d.slot.raw(),
+                        viewer: d.instance.viewer.raw(),
+                        inc: d.instance.incarnation,
+                    },
+                );
+            });
+        } else {
+            self.view.gc(now);
+        }
     }
 
     // --- Deschedules (§4.1.2) ------------------------------------------------
@@ -1081,6 +1271,7 @@ impl Cub {
             .filter(|(_, e)| d.matches(&e.vs))
             .map(|(&t, _)| t)
             .collect();
+        let mut killed = 0u32;
         for token in tokens {
             let entry = self.active.get_mut(&token).expect("token just listed");
             if entry.sent {
@@ -1088,12 +1279,25 @@ impl Cub {
             }
             entry.dropped = true;
             entry.forwarded = true; // Never forward a descheduled entry.
+            killed += 1;
             if entry.finished() {
                 self.reclaim(now, token);
             }
             // Otherwise an outstanding read completes first; DiskDone
             // reclaims it then.
         }
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::DeschedApply {
+                slot: d.slot.raw(),
+                viewer: d.instance.viewer.raw(),
+                inc: d.instance.incarnation,
+                first: first_sighting,
+                killed,
+                hops_left,
+            },
+        );
         // Drop matching shadows and queued starts.
         self.shadows.retain(|_, s| !d.matches(&s.vs));
         self.start_queue.retain(|p| p.instance != d.instance);
@@ -1188,7 +1392,18 @@ impl Cub {
             let slot = owned.into_iter().find(|&s| self.view.believes_slot_free(s));
             match slot {
                 Some(slot) => self.commit_insert(sh, now, pending, d0, slot),
-                None => remaining.push(pending),
+                None => {
+                    sh.tracer.record(
+                        now,
+                        self.id.raw(),
+                        TraceEvent::InsertMiss {
+                            viewer: pending.instance.viewer.raw(),
+                            inc: pending.instance.incarnation,
+                            disk: d0.raw(),
+                        },
+                    );
+                    remaining.push(pending);
+                }
             }
         }
         self.start_queue = remaining;
@@ -1224,6 +1439,16 @@ impl Cub {
             bitrate: meta.bitrate,
             kind: StreamKind::Primary,
         };
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::InsertCommit {
+                slot: slot.raw(),
+                viewer: pending.instance.viewer.raw(),
+                inc: pending.instance.incarnation,
+                disk: d0.raw(),
+            },
+        );
         if let Some(omni) = sh.omniscient.as_mut() {
             omni.on_insert(vs, now);
         }
@@ -1263,6 +1488,11 @@ impl Cub {
             return;
         }
         if let Some(succ) = self.next_living(self.id) {
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::DeadmanPing { to: succ.raw() },
+            );
             sh.send_control(
                 now,
                 sh.cub_node(self.id),
@@ -1285,6 +1515,14 @@ impl Cub {
         }
         let silence = now.saturating_since(self.last_heard[pred.index()]);
         if silence > sh.cfg.deadman_timeout {
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::DeadmanDeclare {
+                    failed: pred.raw(),
+                    silence_ns: silence.as_nanos(),
+                },
+            );
             sh.metrics.failure_detections.push((now, pred.raw()));
             self.declare_failed(sh, now, pred);
             // Tell everyone (including the controller).
@@ -1309,6 +1547,13 @@ impl Cub {
         if self.believed_failed[failed.index()] || failed == self.id {
             return;
         }
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::FailureNotice {
+                failed: failed.raw(),
+            },
+        );
         self.believed_failed[failed.index()] = true;
         // §2.3 gap bridging: "If two or more consecutive cubs are failed,
         // the preceding living cub will send scheduling information to the
@@ -1395,6 +1640,13 @@ impl Cub {
         if !self.acting_successor_of(failed) {
             return;
         }
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::MirrorTakeover {
+                failed_cub: failed.raw(),
+            },
+        );
         let stripe = sh.params.stripe();
         let promote: Vec<PendingStart> = self
             .redundant_starts
@@ -1462,4 +1714,13 @@ impl Cub {
 
 fn d0_is_local(sh: &Shared, me: CubId, d0: DiskId) -> bool {
     sh.params.stripe().cub_of(d0) == me
+}
+
+/// The `(slot, viewer, inc)` triple most trace events carry.
+fn vkey(vs: &ViewerState) -> (u32, u64, u32) {
+    (
+        vs.slot.raw(),
+        vs.instance.viewer.raw(),
+        vs.instance.incarnation,
+    )
 }

@@ -9,6 +9,7 @@ use tiger_net::{NetNode, Network};
 use tiger_sched::disk_schedule::Omniscient;
 use tiger_sched::{Deschedule, ScheduleParams};
 use tiger_sim::{Bandwidth, EventQueue, RngTree, SimDuration, SimTime};
+use tiger_trace::{TraceEvent, Tracer, CTRL};
 
 use crate::client::{Client, ClientReport};
 use crate::config::TigerConfig;
@@ -39,6 +40,11 @@ pub struct Shared {
     pub metrics: Metrics,
     /// Omniscient hallucination checker (tests and verification runs).
     pub omniscient: Option<Omniscient>,
+    /// Protocol event recorder (disabled unless `TIGER_TRACE*` is set or
+    /// [`crate::TigerSystem::enable_trace`] is called). Purely an
+    /// observer: nothing in the simulation reads it back, so enabling it
+    /// cannot change a run.
+    pub tracer: Tracer,
 }
 
 impl Shared {
@@ -164,6 +170,7 @@ impl TigerSystem {
                 net,
                 metrics: Metrics::new(),
                 omniscient: None,
+                tracer: Tracer::from_env(),
             },
             cubs,
             controller: Controller::new(),
@@ -194,6 +201,27 @@ impl TigerSystem {
             + SimDuration::from_millis(500);
         self.shared.omniscient =
             Some(Omniscient::new(self.shared.params.clone()).with_grace(grace));
+    }
+
+    /// Turns on protocol tracing with a ring of `cap` events,
+    /// irrespective of the environment. Tests use this instead of setting
+    /// `TIGER_TRACE` (the test suite runs multithreaded, and process
+    /// environment mutations race across tests).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.shared.tracer = Tracer::enabled(cap);
+    }
+
+    /// The tracer (read-only; tests assert on its records).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// Runs `f` with direct mutable access to one cub and the shared
+    /// state. Test support: the deadman edge-case tests drive individual
+    /// handlers (`on_deadman_check` at an exact instant) without steering
+    /// the whole event loop there.
+    pub fn with_cub_mut<R>(&mut self, cub: CubId, f: impl FnOnce(&mut Cub, &mut Shared) -> R) -> R {
+        f(&mut self.cubs[cub.index()], &mut self.shared)
     }
 
     fn schedule_periodic_events(&mut self) {
@@ -426,6 +454,9 @@ impl TigerSystem {
                 }
             }
             Event::FailCub { cub } => {
+                self.shared
+                    .tracer
+                    .record(now, CTRL, TraceEvent::PowerCut { cub: cub.raw() });
                 self.cubs[cub.index()].power_cut(now);
                 let node = self.shared.cub_node(cub);
                 self.shared.net.fail_node(node);
@@ -509,9 +540,14 @@ impl TigerSystem {
                 self.backup.on_insert_committed(instance, slot, first_send);
             }
             Message::StopRequest { instance } => {
-                let _ = self
-                    .backup
-                    .on_stop_request(instance, &self.shared.params, now);
+                // The un-promoted backup only mirrors state; its routing
+                // decision is discarded, so it must not trace one.
+                let _ = self.backup.on_stop_request(
+                    instance,
+                    &self.shared.params,
+                    now,
+                    &mut Tracer::disabled(),
+                );
             }
             Message::ViewerFinished { instance } => {
                 self.backup.on_viewer_finished(instance);
@@ -556,6 +592,16 @@ impl TigerSystem {
                 let primary_cub = stripe.cub_of(loc.disk);
                 let primary = self.routed_target(primary_cub);
                 let redundant = self.next_living_for_controller(primary);
+                self.shared.tracer.record(
+                    now,
+                    CTRL,
+                    TraceEvent::CtrlRouteStart {
+                        viewer: instance.viewer.raw(),
+                        inc: instance.incarnation,
+                        primary: primary.raw(),
+                        redundant: redundant.map_or(u32::MAX, CubId::raw),
+                    },
+                );
                 let ctrl = self.active_controller;
                 let route = |redundant_flag: bool| Message::RoutedStart {
                     client,
@@ -574,10 +620,12 @@ impl TigerSystem {
                 }
             }
             Message::StopRequest { instance } => {
-                if let Some((slot, cub)) =
-                    self.controller
-                        .on_stop_request(instance, &self.shared.params, now)
-                {
+                if let Some((slot, cub)) = self.controller.on_stop_request(
+                    instance,
+                    &self.shared.params,
+                    now,
+                    &mut self.shared.tracer,
+                ) {
                     if let Some(omni) = self.shared.omniscient.as_mut() {
                         omni.on_remove(slot, instance, now);
                     }

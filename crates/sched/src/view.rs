@@ -176,6 +176,23 @@ impl ScheduleView {
     pub fn gc(&mut self, now: SimTime) {
         self.deschedules.retain(|&(_, expiry)| expiry > now);
     }
+
+    /// [`ScheduleView::gc`], reporting each hold it drops. Used by traced
+    /// runs to record hold expiries; behaviorally identical to `gc`.
+    ///
+    /// Expiry is thereby observed at the caller's granularity (the cub's
+    /// periodic forward pass), not at the instant the hold lapses — the
+    /// internal `gc` calls inside `apply_*` stay unreported, since a hold
+    /// that expires mid-apply was already past its protocol relevance.
+    pub fn gc_report(&mut self, now: SimTime, mut expired: impl FnMut(Deschedule)) {
+        self.deschedules.retain(|&(d, expiry)| {
+            let live = expiry > now;
+            if !live {
+                expired(d);
+            }
+            live
+        });
+    }
 }
 
 fn same_kind(a: &ViewerState, b: &ViewerState) -> bool {
@@ -324,6 +341,31 @@ mod tests {
         // states that arrive later than the deschedule hold time).
         assert_eq!(v.apply_viewer_state(a, t(6)), ViewApply::Inserted);
         assert_eq!(v.held_deschedules(), 0);
+    }
+
+    #[test]
+    fn gc_report_names_each_expired_hold() {
+        let mut v = ScheduleView::new();
+        let d1 = Deschedule {
+            instance: vs(3, 1, 0).instance,
+            slot: SlotId(3),
+        };
+        let d2 = Deschedule {
+            instance: vs(4, 2, 0).instance,
+            slot: SlotId(4),
+        };
+        v.apply_deschedule(d1, T0, t(5));
+        v.apply_deschedule(d2, T0, t(50));
+        let mut dropped = Vec::new();
+        v.gc_report(t(10), |d| dropped.push(d));
+        assert_eq!(dropped, vec![d1], "only the lapsed hold is reported");
+        assert_eq!(v.held_deschedules(), 1);
+        // Identical end state to plain gc.
+        let mut w = ScheduleView::new();
+        w.apply_deschedule(d1, T0, t(5));
+        w.apply_deschedule(d2, T0, t(50));
+        w.gc(t(10));
+        assert_eq!(w.held_deschedules(), v.held_deschedules());
     }
 
     #[test]

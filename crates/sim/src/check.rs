@@ -34,6 +34,35 @@ use crate::rng::{RngTree, SimRng};
 /// Default number of cases per property.
 pub const DEFAULT_CASES: u64 = 256;
 
+/// Extra diagnostics appended to a failure report: called with the
+/// failing case seed *after* the case's panic has been caught (i.e. after
+/// everything the case built has been dropped), on the thread that ran
+/// the case. Returns `None` to add nothing.
+type FailureHook = Box<dyn Fn(u64) -> Option<String> + Send + Sync>;
+
+static FAILURE_HOOK: Mutex<Option<FailureHook>> = Mutex::new(None);
+
+/// Installs a process-wide failure hook (replacing any previous one).
+///
+/// The harness calls it once per failing case and appends the returned
+/// line to that case's report. The canonical user is `tiger-trace`, which
+/// dumps the failing run's ring-buffer trace to a file and reports the
+/// path; the hook indirection keeps this crate free of any dependency on
+/// (or knowledge of) the tracer. Hooks must be deterministic functions of
+/// the case seed for failure reports to stay identical at every
+/// `TIGER_PROP_THREADS` setting.
+pub fn set_failure_hook(hook: impl Fn(u64) -> Option<String> + Send + Sync + 'static) {
+    *FAILURE_HOOK.lock().expect("failure hook lock") = Some(Box::new(hook));
+}
+
+fn failure_hook_output(case_seed: u64) -> Option<String> {
+    FAILURE_HOOK
+        .lock()
+        .expect("failure hook lock")
+        .as_ref()
+        .and_then(|hook| hook(case_seed))
+}
+
 fn env_u64(name: &str) -> Option<u64> {
     let v = std::env::var(name).ok()?;
     match parse_u64(&v) {
@@ -75,7 +104,15 @@ pub fn check_cases(name: &str, cases: u64, property: impl Fn(&mut SimRng) + Sync
 
     if let Some(replay) = env_u64("TIGER_PROP_REPLAY") {
         let mut rng = SimRng::from_seed(replay);
-        property(&mut rng);
+        // Catch the failure so the hook (e.g. the trace dumper) still
+        // runs on a replay, then re-raise the original panic.
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = outcome {
+            if let Some(extra) = failure_hook_output(replay) {
+                eprintln!("replay of case seed {replay:#018x}:\n  {extra}");
+            }
+            std::panic::resume_unwind(payload);
+        }
         return;
     }
 
@@ -92,11 +129,16 @@ pub fn check_cases(name: &str, cases: u64, property: impl Fn(&mut SimRng) + Sync
             .map(String::as_str)
             .or_else(|| payload.downcast_ref::<&str>().copied())
             .unwrap_or("<non-string panic payload>");
-        Some(format!(
+        let mut report = format!(
             "property '{name}' failed at case {case}/{cases} \
              (case seed {case_seed:#018x}):\n  {msg}\n\
              replay with: TIGER_PROP_REPLAY={case_seed:#x} cargo test {name}"
-        ))
+        );
+        if let Some(extra) = failure_hook_output(case_seed) {
+            report.push_str("\n  ");
+            report.push_str(&extra);
+        }
+        Some(report)
     };
 
     if threads == 1 || cases < 2 {

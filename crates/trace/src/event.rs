@@ -1,0 +1,473 @@
+//! The trace event vocabulary and its on-disk line format.
+//!
+//! Events carry primitive fields (`u32`/`u64`/`bool`) rather than the
+//! layout/sched newtypes so that `tiger-trace` sits below every protocol
+//! crate in the dependency graph; call sites convert with `.raw()`. The
+//! field names keep the protocol vocabulary (`slot`, `viewer`, `inc`,
+//! `disk`) so dumps read like the paper.
+//!
+//! A dump is plain text, one [`TraceRecord`] per line:
+//!
+//! ```text
+//! <seq> <at-nanos> c<cub> <event-name> <key>=<value> ...
+//! ```
+//!
+//! with `ctrl` in place of `c<cub>` for controller-side events
+//! ([`CTRL`]). Lines starting with `#` are comments. The format is
+//! lossless: [`TraceRecord::parse_line`] inverts [`TraceRecord::to_line`]
+//! exactly, which is what lets `trace_timeline` re-render and diff dumps
+//! long after the run that produced them.
+
+use std::fmt::Write as _;
+
+use tiger_sim::SimTime;
+
+/// Pseudo cub id for events recorded by the controller (which is not a
+/// cub but participates in the protocol: start routing, deschedule
+/// fan-out). Rendered as `ctrl` in dumps.
+pub const CTRL: u32 = u32::MAX;
+
+/// Field value conversion for the wire format: every event field is one
+/// of `u32`/`u64`/`bool`, carried as a decimal `u64` in dump lines
+/// (`bool` as `0`/`1`).
+trait Field: Copy {
+    fn into_raw(self) -> u64;
+    fn from_raw(v: u64) -> Self;
+}
+
+impl Field for u64 {
+    fn into_raw(self) -> u64 {
+        self
+    }
+    fn from_raw(v: u64) -> Self {
+        v
+    }
+}
+
+impl Field for u32 {
+    fn into_raw(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_raw(v: u64) -> Self {
+        v as u32
+    }
+}
+
+impl Field for bool {
+    fn into_raw(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_raw(v: u64) -> Self {
+        v != 0
+    }
+}
+
+macro_rules! trace_events {
+    ($(
+        $(#[$meta:meta])*
+        $variant:ident => $name:literal { $( $field:ident : $ty:ty ),* $(,)? },
+    )*) => {
+        /// One structured protocol event. See the variant docs for which
+        /// handler records each; the kebab-case name after `=>` in the
+        /// source is the wire name used in dump lines.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub enum TraceEvent {
+            $( $(#[$meta])* $variant { $( $field: $ty ),* }, )*
+        }
+
+        impl TraceEvent {
+            /// The wire name (kebab-case) of this event.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( TraceEvent::$variant { .. } => $name, )*
+                }
+            }
+
+            /// The event's fields as `(key, raw value)` pairs, in
+            /// declaration order (which is the dump-line order).
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                match *self {
+                    $( TraceEvent::$variant { $( $field ),* } => {
+                        vec![ $( (stringify!($field), Field::into_raw($field)) ),* ]
+                    } )*
+                }
+            }
+
+            /// Rebuilds an event from its wire name and `(key, value)`
+            /// pairs; `None` if the name is unknown or a field is absent.
+            pub fn from_parts(name: &str, fields: &[(String, u64)]) -> Option<TraceEvent> {
+                let get = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k.as_str() == key)
+                        .map(|&(_, v)| v)
+                };
+                match name {
+                    $( $name => Some(TraceEvent::$variant {
+                        $( $field: Field::from_raw(get(stringify!($field))?) ),*
+                    }), )*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+trace_events! {
+    /// A forward-pass batch of viewer states sent to the ring successor
+    /// (`second` = the redundant second-successor copy of §4.1.1).
+    VsForward => "vs-forward" { dst: u32, count: u32, second: bool },
+    /// First sighting of a viewer state: accepted into the schedule view.
+    VsAccept => "vs-accept" { slot: u32, viewer: u64, inc: u32, play_seq: u32, position: u64 },
+    /// A viewer state that arrived again (double-forwarding) and was
+    /// dropped idempotently.
+    VsDuplicate => "vs-duplicate" { slot: u32, viewer: u64, inc: u32, play_seq: u32 },
+    /// A viewer state refused because a deschedule hold covers its slot.
+    VsBlocked => "vs-blocked" { slot: u32, viewer: u64, inc: u32 },
+    /// A viewer state retained as shadow state only (not locally served).
+    VsShadow => "vs-shadow" { slot: u32, viewer: u64, inc: u32 },
+    /// A viewer state refused because another instance owns the slot.
+    VsConflict => "vs-conflict" { slot: u32, viewer: u64, inc: u32 },
+    /// A viewer state discarded as too old to be useful (outside the
+    /// vstate lead window).
+    VsLate => "vs-late" { slot: u32, viewer: u64, inc: u32, play_seq: u32 },
+    /// A deschedule applied: `first` = first time this cub saw it,
+    /// `killed` = active services it terminated, `hops_left` = remaining
+    /// ring forwards.
+    DeschedApply => "desched-apply" { slot: u32, viewer: u64, inc: u32, first: bool, killed: u32, hops_left: u32 },
+    /// A deschedule hold aged out of the view (hold expiry, §4.1.2).
+    DeschedExpire => "desched-expire" { slot: u32, viewer: u64, inc: u32 },
+    /// An insert attempt that found a free owned slot and committed.
+    InsertCommit => "insert-commit" { slot: u32, viewer: u64, inc: u32, disk: u32 },
+    /// An insert attempt that found no free owned slot in its window.
+    InsertMiss => "insert-miss" { viewer: u64, inc: u32, disk: u32 },
+    /// A deadman ping sent to the ring successor.
+    DeadmanPing => "deadman-ping" { to: u32 },
+    /// A deadman check that declared the predecessor failed after
+    /// `silence_ns` of silence (strictly greater than the timeout).
+    DeadmanDeclare => "deadman-declare" { failed: u32, silence_ns: u64 },
+    /// A failure notice received (or self-originated) for a cub.
+    FailureNotice => "failure-notice" { failed: u32 },
+    /// This cub, as acting successor, took over schedule ownership from
+    /// a failed cub.
+    MirrorTakeover => "mirror-takeover" { failed_cub: u32 },
+    /// A mirror viewer state fabricated to cover a failed disk's slot.
+    MirrorCreate => "mirror-create" { slot: u32, viewer: u64, inc: u32, failed_disk: u32 },
+    /// A mirror viewer state accepted for service of a declustered piece.
+    MirrorAccept => "mirror-accept" { slot: u32, viewer: u64, inc: u32, piece: u32 },
+    /// A block read issued to a disk.
+    DiskIssue => "disk-issue" { slot: u32, viewer: u64, inc: u32, disk: u32 },
+    /// A block read completed.
+    DiskDone => "disk-done" { slot: u32, viewer: u64, inc: u32 },
+    /// A network send came due (`ok` = the block was ready in buffer).
+    SendDue => "send-due" { slot: u32, viewer: u64, inc: u32, ok: bool },
+    /// A network send completed.
+    SendDone => "send-done" { slot: u32, viewer: u64, inc: u32 },
+    /// Controller routed a start request (`redundant` = `u32::MAX` when
+    /// no second copy was sent).
+    CtrlRouteStart => "ctrl-route-start" { viewer: u64, inc: u32, primary: u32, redundant: u32 },
+    /// Controller launched a deschedule toward the owning cub.
+    CtrlRouteDesched => "ctrl-route-desched" { viewer: u64, inc: u32, slot: u32, target: u32 },
+    /// A cub was power-cut by the simulation (fault injection).
+    PowerCut => "power-cut" { cub: u32 },
+}
+
+/// One recorded event: global ring sequence number, simulation time, and
+/// the cub (or [`CTRL`]) that recorded it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic per-run sequence number (survives ring wraparound, so
+    /// gaps in a dump reveal how many events were dropped).
+    pub seq: u64,
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// Recording cub, or [`CTRL`].
+    pub cub: u32,
+    /// The event itself.
+    pub ev: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one dump line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{} {} ", self.seq, self.at.as_nanos());
+        if self.cub == CTRL {
+            s.push_str("ctrl");
+        } else {
+            let _ = write!(s, "c{}", self.cub);
+        }
+        let _ = write!(s, " {}", self.ev.name());
+        for (k, v) in self.ev.fields() {
+            let _ = write!(s, " {k}={v}");
+        }
+        s
+    }
+
+    /// Parses one dump line; `None` on any malformation.
+    pub fn parse_line(line: &str) -> Option<TraceRecord> {
+        let mut it = line.split_ascii_whitespace();
+        let seq = it.next()?.parse().ok()?;
+        let at = SimTime::from_nanos(it.next()?.parse().ok()?);
+        let cub_tok = it.next()?;
+        let cub = if cub_tok == "ctrl" {
+            CTRL
+        } else {
+            cub_tok.strip_prefix('c')?.parse().ok()?
+        };
+        let name = it.next()?;
+        let mut fields = Vec::new();
+        for kv in it {
+            let (k, v) = kv.split_once('=')?;
+            fields.push((k.to_string(), v.parse().ok()?));
+        }
+        let ev = TraceEvent::from_parts(name, &fields)?;
+        Some(TraceRecord { seq, at, cub, ev })
+    }
+}
+
+/// Parses a whole dump (as produced by `Tracer::dump`), skipping blank
+/// and `#`-comment lines. Errors name the first offending line.
+pub fn parse_dump(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match TraceRecord::parse_line(line) {
+            Some(rec) => out.push(rec),
+            None => return Err(format!("unparseable trace line {}: {line:?}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<(u32, TraceEvent)> {
+        vec![
+            (
+                0,
+                TraceEvent::VsForward {
+                    dst: 1,
+                    count: 3,
+                    second: false,
+                },
+            ),
+            (
+                1,
+                TraceEvent::VsAccept {
+                    slot: 7,
+                    viewer: 4,
+                    inc: 0,
+                    play_seq: 2,
+                    position: 19,
+                },
+            ),
+            (
+                1,
+                TraceEvent::VsDuplicate {
+                    slot: 7,
+                    viewer: 4,
+                    inc: 0,
+                    play_seq: 2,
+                },
+            ),
+            (
+                1,
+                TraceEvent::VsBlocked {
+                    slot: 7,
+                    viewer: 4,
+                    inc: 1,
+                },
+            ),
+            (
+                2,
+                TraceEvent::VsShadow {
+                    slot: 9,
+                    viewer: 5,
+                    inc: 0,
+                },
+            ),
+            (
+                2,
+                TraceEvent::VsConflict {
+                    slot: 9,
+                    viewer: 6,
+                    inc: 0,
+                },
+            ),
+            (
+                2,
+                TraceEvent::VsLate {
+                    slot: 9,
+                    viewer: 6,
+                    inc: 0,
+                    play_seq: 40,
+                },
+            ),
+            (
+                0,
+                TraceEvent::DeschedApply {
+                    slot: 3,
+                    viewer: 4,
+                    inc: 0,
+                    first: true,
+                    killed: 1,
+                    hops_left: 5,
+                },
+            ),
+            (
+                0,
+                TraceEvent::DeschedExpire {
+                    slot: 3,
+                    viewer: 4,
+                    inc: 0,
+                },
+            ),
+            (
+                3,
+                TraceEvent::InsertCommit {
+                    slot: 11,
+                    viewer: 8,
+                    inc: 2,
+                    disk: 6,
+                },
+            ),
+            (
+                3,
+                TraceEvent::InsertMiss {
+                    viewer: 8,
+                    inc: 2,
+                    disk: 6,
+                },
+            ),
+            (0, TraceEvent::DeadmanPing { to: 1 }),
+            (
+                2,
+                TraceEvent::DeadmanDeclare {
+                    failed: 1,
+                    silence_ns: 5_000_000_001,
+                },
+            ),
+            (2, TraceEvent::FailureNotice { failed: 1 }),
+            (2, TraceEvent::MirrorTakeover { failed_cub: 1 }),
+            (
+                2,
+                TraceEvent::MirrorCreate {
+                    slot: 5,
+                    viewer: 4,
+                    inc: 0,
+                    failed_disk: 1,
+                },
+            ),
+            (
+                3,
+                TraceEvent::MirrorAccept {
+                    slot: 5,
+                    viewer: 4,
+                    inc: 0,
+                    piece: 1,
+                },
+            ),
+            (
+                0,
+                TraceEvent::DiskIssue {
+                    slot: 2,
+                    viewer: 4,
+                    inc: 0,
+                    disk: 0,
+                },
+            ),
+            (
+                0,
+                TraceEvent::DiskDone {
+                    slot: 2,
+                    viewer: 4,
+                    inc: 0,
+                },
+            ),
+            (
+                0,
+                TraceEvent::SendDue {
+                    slot: 2,
+                    viewer: 4,
+                    inc: 0,
+                    ok: true,
+                },
+            ),
+            (
+                0,
+                TraceEvent::SendDone {
+                    slot: 2,
+                    viewer: 4,
+                    inc: 0,
+                },
+            ),
+            (
+                CTRL,
+                TraceEvent::CtrlRouteStart {
+                    viewer: 4,
+                    inc: 0,
+                    primary: 0,
+                    redundant: u32::MAX,
+                },
+            ),
+            (
+                CTRL,
+                TraceEvent::CtrlRouteDesched {
+                    viewer: 4,
+                    inc: 0,
+                    slot: 2,
+                    target: 0,
+                },
+            ),
+            (CTRL, TraceEvent::PowerCut { cub: 1 }),
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_the_line_format() {
+        for (i, (cub, ev)) in sample_events().into_iter().enumerate() {
+            let rec = TraceRecord {
+                seq: i as u64,
+                at: SimTime::from_nanos(1_000_000 * i as u64),
+                cub,
+                ev,
+            };
+            let line = rec.to_line();
+            let back = TraceRecord::parse_line(&line)
+                .unwrap_or_else(|| panic!("line failed to parse: {line}"));
+            assert_eq!(rec, back, "round-trip diverged for {line}");
+        }
+    }
+
+    #[test]
+    fn controller_events_render_as_ctrl() {
+        let rec = TraceRecord {
+            seq: 9,
+            at: SimTime::from_nanos(500),
+            cub: CTRL,
+            ev: TraceEvent::PowerCut { cub: 2 },
+        };
+        assert_eq!(rec.to_line(), "9 500 ctrl power-cut cub=2");
+    }
+
+    #[test]
+    fn parse_dump_skips_comments_and_rejects_garbage() {
+        let good = "# header\n\n0 100 c0 deadman-ping to=1\n";
+        let recs = parse_dump(good).expect("good dump parses");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ev, TraceEvent::DeadmanPing { to: 1 });
+
+        assert!(parse_dump("0 100 c0 no-such-event x=1").is_err());
+        assert!(
+            parse_dump("0 100 c0 deadman-ping").is_err(),
+            "missing field"
+        );
+        assert!(parse_dump("not a trace").is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Human-readable rendering of parsed traces: per-cub / per-slot
+//! timelines, and a first-divergence diff of two traces.
+//!
+//! Rendering is purely a function of the input records — no clocks, no
+//! environment — so timelines are golden-testable and byte-stable across
+//! machines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{TraceRecord, CTRL};
+
+/// One event as a timeline line body (everything after the location
+/// prefix): `[seq] <time> <name> <fields>`, with the `viewer`/`inc` pair
+/// folded to the protocol's `viewerN#M` spelling and `u32::MAX` routing
+/// fields shown as `none`.
+fn event_body(rec: &TraceRecord) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "[{}] {} {}", rec.seq, rec.at, rec.ev.name());
+    let fields = rec.ev.fields();
+    let inc = fields.iter().find(|&&(k, _)| k == "inc").map(|&(_, v)| v);
+    for &(k, v) in &fields {
+        match k {
+            "inc" if fields.iter().any(|&(k2, _)| k2 == "viewer") => {}
+            "viewer" => {
+                let _ = write!(s, " viewer{v}");
+                if let Some(inc) = inc {
+                    let _ = write!(s, "#{inc}");
+                }
+            }
+            "redundant" | "target" if v == u64::from(u32::MAX) => {
+                let _ = write!(s, " {k}=none");
+            }
+            _ => {
+                let _ = write!(s, " {k}={v}");
+            }
+        }
+    }
+    s
+}
+
+fn cub_label(cub: u32) -> String {
+    if cub == CTRL {
+        "ctrl".to_string()
+    } else {
+        format!("cub{cub}")
+    }
+}
+
+fn slot_of(rec: &TraceRecord) -> Option<u64> {
+    rec.ev
+        .fields()
+        .iter()
+        .find(|&&(k, _)| k == "slot")
+        .map(|&(_, v)| v)
+}
+
+/// Renders a full timeline: a header, one section per recording cub
+/// (controller last), then one section per schedule slot touched,
+/// cross-referencing every event that names that slot. Events stay in
+/// `seq` order within every section.
+pub fn render_timeline(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    let mut by_cub: BTreeMap<u32, Vec<&TraceRecord>> = BTreeMap::new();
+    let mut by_slot: BTreeMap<u64, Vec<&TraceRecord>> = BTreeMap::new();
+    for rec in records {
+        by_cub.entry(rec.cub).or_default().push(rec);
+        if let Some(slot) = slot_of(rec) {
+            by_slot.entry(slot).or_default().push(rec);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "== tiger trace timeline: {} events, {} cubs, {} slots ==",
+        records.len(),
+        by_cub.keys().filter(|&&c| c != CTRL).count(),
+        by_slot.len()
+    );
+    // BTreeMap order puts CTRL (u32::MAX) last automatically.
+    for (&cub, recs) in &by_cub {
+        let _ = writeln!(out, "-- {} ({} events) --", cub_label(cub), recs.len());
+        for rec in recs {
+            let _ = writeln!(out, "  {}", event_body(rec));
+        }
+    }
+    for (&slot, recs) in &by_slot {
+        let _ = writeln!(out, "-- slot {slot} ({} events) --", recs.len());
+        for rec in recs {
+            let _ = writeln!(out, "  {} {}", cub_label(rec.cub), event_body(rec));
+        }
+    }
+    out
+}
+
+/// Normalized comparison key for diffing: location + event, but not
+/// `seq` (two rings of different capacity drop different prefixes, which
+/// would offset every sequence number without being a real divergence).
+fn diff_key(rec: &TraceRecord) -> String {
+    let mut s = format!(
+        "{} {} {}",
+        rec.at.as_nanos(),
+        cub_label(rec.cub),
+        rec.ev.name()
+    );
+    for (k, v) in rec.ev.fields() {
+        let _ = write!(s, " {k}={v}");
+    }
+    s
+}
+
+/// Diffs two traces of the same scenario (e.g. two scheduler variants on
+/// one seed): reports the first index where the event streams diverge,
+/// with `context` matching lines before it and up to `context + 1`
+/// diverging lines from each side (`-` = first trace, `+` = second).
+/// Sequence numbers are ignored (see `diff_key`); identical streams
+/// produce a one-line "traces identical" report.
+pub fn render_diff(a: &[TraceRecord], b: &[TraceRecord], context: usize) -> String {
+    let ka: Vec<String> = a.iter().map(diff_key).collect();
+    let kb: Vec<String> = b.iter().map(diff_key).collect();
+    let common = ka.iter().zip(&kb).take_while(|(x, y)| x == y).count();
+    if common == ka.len() && common == kb.len() {
+        return format!("traces identical ({} events)\n", ka.len());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "traces diverge at event {common} ({} vs {} events)",
+        ka.len(),
+        kb.len()
+    );
+    for key in &ka[common.saturating_sub(context)..common] {
+        let _ = writeln!(out, "  {key}");
+    }
+    for key in ka.iter().skip(common).take(context + 1) {
+        let _ = writeln!(out, "- {key}");
+    }
+    if common == ka.len() && common < kb.len() {
+        let _ = writeln!(out, "- <end of first trace>");
+    }
+    for key in kb.iter().skip(common).take(context + 1) {
+        let _ = writeln!(out, "+ {key}");
+    }
+    if common == kb.len() && common < ka.len() {
+        let _ = writeln!(out, "+ <end of second trace>");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use tiger_sim::SimTime;
+
+    fn rec(seq: u64, cub: u32, ev: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: SimTime::from_nanos(seq * 1_000_000),
+            cub,
+            ev,
+        }
+    }
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                CTRL,
+                TraceEvent::CtrlRouteStart {
+                    viewer: 1,
+                    inc: 0,
+                    primary: 0,
+                    redundant: u32::MAX,
+                },
+            ),
+            rec(
+                1,
+                0,
+                TraceEvent::InsertCommit {
+                    slot: 3,
+                    viewer: 1,
+                    inc: 0,
+                    disk: 0,
+                },
+            ),
+            rec(
+                2,
+                0,
+                TraceEvent::VsForward {
+                    dst: 1,
+                    count: 1,
+                    second: false,
+                },
+            ),
+            rec(
+                3,
+                1,
+                TraceEvent::VsAccept {
+                    slot: 3,
+                    viewer: 1,
+                    inc: 0,
+                    play_seq: 0,
+                    position: 0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn timeline_groups_by_cub_and_slot() {
+        let text = render_timeline(&sample());
+        assert!(text.contains("4 events, 2 cubs, 1 slots"), "{text}");
+        assert!(text.contains("-- cub0 (2 events) --"), "{text}");
+        assert!(text.contains("-- ctrl (1 events) --"), "{text}");
+        assert!(text.contains("-- slot 3 (2 events) --"), "{text}");
+        // viewer/inc folding and MAX routing rendering.
+        assert!(text.contains("viewer1#0"), "{text}");
+        assert!(text.contains("redundant=none"), "{text}");
+        // The controller section comes after the cubs.
+        assert!(
+            text.find("-- cub1").unwrap() < text.find("-- ctrl").unwrap(),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn diff_reports_first_divergence_and_identity() {
+        let a = sample();
+        assert_eq!(render_diff(&a, &a, 2), "traces identical (4 events)\n");
+
+        let mut b = sample();
+        b[3].ev = TraceEvent::VsDuplicate {
+            slot: 3,
+            viewer: 1,
+            inc: 0,
+            play_seq: 0,
+        };
+        let text = render_diff(&a, &b, 2);
+        assert!(text.contains("diverge at event 3"), "{text}");
+        assert!(text.contains("- 3000000 cub1 vs-accept"), "{text}");
+        assert!(text.contains("+ 3000000 cub1 vs-duplicate"), "{text}");
+
+        // A truncated second trace reports its end rather than inventing
+        // a diverging line.
+        let text = render_diff(&a, &a[..3], 1);
+        assert!(text.contains("diverge at event 3"), "{text}");
+        assert!(text.contains("+ <end of second trace>"), "{text}");
+    }
+
+    #[test]
+    fn diff_ignores_seq_offsets() {
+        let a = sample();
+        let mut b = sample();
+        for r in &mut b {
+            r.seq += 100; // same events, ring dropped an earlier prefix
+        }
+        assert_eq!(render_diff(&a, &b, 2), "traces identical (4 events)\n");
+    }
+}

@@ -31,13 +31,29 @@ fi
 # stdout at 1 and 2 worker threads (the determinism-under-parallelism
 # contract; see EXPERIMENTS.md "The experiment fleet").
 echo "== fleet smoke: quick fig8 ramp at 1 vs 2 threads" >&2
-FLEET_T1="$(mktemp)" FLEET_T2="$(mktemp)"
-trap 'rm -f "$FLEET_T1" "$FLEET_T2"' EXIT
+FLEET_T1="$(mktemp)" FLEET_T2="$(mktemp)" FLEET_TRACED="$(mktemp)" DEMO_OUT="$(mktemp)"
+trap 'rm -f "$FLEET_T1" "$FLEET_T2" "$FLEET_TRACED" "$DEMO_OUT"' EXIT
 cargo run --release -q -p tiger-bench --bin fleet -- \
     --scale quick --filter fig8 --threads 1 > "$FLEET_T1" 2>/dev/null
 cargo run --release -q -p tiger-bench --bin fleet -- \
     --scale quick --filter fig8 --threads 2 > "$FLEET_T2" 2>/dev/null
 cmp "$FLEET_T1" "$FLEET_T2"
+
+# Traced smoke: the tracer is a pure observer, so the same fleet run with
+# tracing switched on must produce bit-identical stdout (see
+# docs/TRACING.md). Fatal — any divergence means a trace hook leaked into
+# simulation behaviour.
+echo "== traced smoke: fleet stdout with TIGER_TRACE=1 vs off" >&2
+TIGER_TRACE=1 cargo run --release -q -p tiger-bench --bin fleet -- \
+    --scale quick --filter fig8 --threads 1 > "$FLEET_TRACED" 2>/dev/null
+cmp "$FLEET_T1" "$FLEET_TRACED"
+
+# Golden timeline: the deterministic demo scenario must render exactly the
+# checked-in timeline. Fatal — it pins the event schema, the wire format,
+# and the protocol's event order on a fixed seed all at once.
+echo "== traced smoke: trace_timeline --demo vs results/trace_timeline_demo.txt" >&2
+cargo run --release -q -p tiger-bench --bin trace_timeline -- --demo > "$DEMO_OUT"
+cmp results/trace_timeline_demo.txt "$DEMO_OUT"
 
 # Bench trajectory: compare fresh event-queue micro-benches against the
 # checked-in snapshot. Non-fatal — timing on shared CI hardware is too

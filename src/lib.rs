@@ -18,6 +18,7 @@
 //! * [`layout`] — striping, declustered mirroring, block index, restriper
 //! * [`sched`] — schedules, viewer-state records, bounded views
 //! * [`core`] — cubs, controller, clients, the distributed protocol
+//! * [`trace`] — ring-buffer protocol event tracing and timeline tooling
 //! * [`workload`] — workload generators and §5 experiment drivers
 //! * [`bench`] — experiment fleet, bench runner, and snapshot tooling
 //!
@@ -44,4 +45,5 @@ pub use tiger_layout as layout;
 pub use tiger_net as net;
 pub use tiger_sched as sched;
 pub use tiger_sim as sim;
+pub use tiger_trace as trace;
 pub use tiger_workload as workload;

@@ -256,6 +256,53 @@ fn bench_trace(c: &mut Runner) {
     });
 }
 
+fn bench_fault_check(c: &mut Runner) {
+    use tiger_faults::{FaultPlan, NetFaults, NodeSel, Topology};
+    use tiger_sim::RngTree;
+    // The fault hooks guard every network send, disk submit, and cub
+    // dispatch. Like the trace hooks, the disabled path is one pointer
+    // test — the no-faults system must not pay for the subsystem's
+    // existence. The enabled path is a window scan plus an RNG draw.
+    let topo = Topology {
+        num_cubs: 14,
+        num_clients: 14,
+        backup_controller: false,
+    };
+    c.bench_function("fault_check_off", |b| {
+        let mut f = NetFaults::disabled();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            if f.active() {
+                black_box(f.verdict(SimTime::from_nanos(u64::from(i)), i % 14, (i + 1) % 14));
+            }
+            black_box(&mut f);
+        })
+    });
+    c.bench_function("fault_check_on", |b| {
+        let plan = FaultPlan::new().drop_msgs(
+            NodeSel::Any,
+            NodeSel::Any,
+            0.5,
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+        let mut f = NetFaults::compile(
+            &plan,
+            topo,
+            RngTree::new(7).subtree("faults", 0).fork("net", 0),
+        );
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            if f.active() {
+                black_box(f.verdict(SimTime::from_nanos(u64::from(i)), i % 14, (i + 1) % 14));
+            }
+            black_box(&mut f);
+        })
+    });
+}
+
 fn bench_disk_model(c: &mut Runner) {
     use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
     use tiger_sim::RngTree;
@@ -290,6 +337,7 @@ fn main() {
     bench_net_schedule(&mut c);
     bench_event_queue(&mut c);
     bench_trace(&mut c);
+    bench_fault_check(&mut c);
     bench_disk_model(&mut c);
     c.finish();
 }

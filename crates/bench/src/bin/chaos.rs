@@ -1,0 +1,60 @@
+//! Chaos campaigns: declarative fault plans swept over injection timing
+//! and workload seed, every run checked against the Tiger invariants
+//! (no double delivery, justified deadman declarations, bounded view
+//! lead, bounded single-failure loss window).
+//!
+//! ```text
+//! chaos [--threads N] [--scale quick|full]
+//! ```
+//!
+//! Stdout is bit-identical at any `--threads` count (and at any
+//! `TIGER_FLEET_THREADS`, which sets the default). Exits non-zero if any
+//! campaign violates an invariant, so CI can gate on it.
+
+use std::process::exit;
+
+use tiger_bench::chaos::chaos_report;
+use tiger_bench::fleet::{threads_from_env, Scale};
+use tiger_bench::header;
+
+fn main() {
+    let mut threads = threads_from_env();
+    let mut scale = Scale::Quick;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .as_deref()
+                    .and_then(Scale::parse)
+                    .unwrap_or_else(|| usage("--scale needs 'quick' or 'full'"));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    header(
+        "Chaos campaigns (fault plans vs the Tiger invariants)",
+        "any single failure is survived; losses stay inside the detection window (§4, §5)",
+    );
+    let report = chaos_report(scale, threads);
+    print!("{}", report.output);
+    if report.output.contains("VIOLATION") {
+        eprintln!("chaos: invariant violations found");
+        exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("chaos: {msg}");
+    eprintln!("usage: chaos [--threads N] [--scale quick|full]");
+    exit(2)
+}

@@ -46,7 +46,7 @@ fn run(single_file: bool, target: u32) -> Outcome {
         sys.request_start(t, client, file);
         // Arrivals ~1.2 s apart; Tiger's slots enforce the equitemporal
         // spacing regardless.
-        t = t + SimDuration::from_millis(1_200);
+        t += SimDuration::from_millis(1_200);
     }
     // Settle, then measure one 60 s window.
     let settle = t + SimDuration::from_secs(30);

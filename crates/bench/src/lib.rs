@@ -19,6 +19,7 @@
 //! | `ablation_deadman` | §5: loss window vs deadman timeout |
 //! | `ablation_admission` | §5: the disabled admission-control code, re-enabled |
 //! | `hotspot` | §2.2: striping absorbs single-file demand spikes |
+//! | `chaos` | fault-injection campaigns (tiger-faults) checked against the Tiger invariants |
 //!
 //! Micro-benches for the schedule operations themselves live in `benches/`
 //! (the §5 premise that schedule management cost is negligible next to
@@ -26,6 +27,7 @@
 //! no registry crates and emits machine-readable JSON for the
 //! `BENCH_*.json` trajectory.
 
+pub mod chaos;
 pub mod fleet;
 pub mod runner;
 

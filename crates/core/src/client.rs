@@ -38,6 +38,11 @@ pub struct ViewerProgress {
     pub base_block: u32,
     /// Blocks that arrived too late to be rendered (discarded).
     pub late_blocks: u32,
+    /// Fully-assembled blocks that arrived more than once. Tiger never
+    /// retransmits, so any double delivery is a protocol bug (or an
+    /// injected network duplicate on the control plane leaking into
+    /// data, which the fault invariants treat the same way).
+    pub dup_blocks: u32,
     /// Whether the viewer was stopped by request.
     pub stopped: bool,
     /// Highest block index received (None before any data).
@@ -68,6 +73,7 @@ impl ViewerProgress {
             pieces: HashMap::new(),
             base_block,
             late_blocks: 0,
+            dup_blocks: 0,
             stopped: false,
             high_water: None,
         }
@@ -139,6 +145,8 @@ pub struct ClientReport {
     pub blocks_received: u64,
     /// Total blocks missing (gaps and lost tails).
     pub blocks_missing: u64,
+    /// Total fully-assembled blocks delivered more than once.
+    pub dup_blocks: u64,
 }
 
 /// One client machine, possibly receiving many concurrent streams.
@@ -217,11 +225,15 @@ impl Client {
                 done
             }
         };
-        if completed && !v.received[block as usize] {
-            v.received[block as usize] = true;
-            v.high_water = Some(v.high_water.map_or(block, |h| h.max(block)));
-            if v.first_block_at.is_none() {
-                v.first_block_at = Some(now);
+        if completed {
+            if v.received[block as usize] {
+                v.dup_blocks += 1;
+            } else {
+                v.received[block as usize] = true;
+                v.high_water = Some(v.high_water.map_or(block, |h| h.max(block)));
+                if v.first_block_at.is_none() {
+                    v.first_block_at = Some(now);
+                }
             }
         }
         completed
@@ -250,6 +262,7 @@ impl Client {
         for v in self.viewers.values() {
             r.blocks_received += u64::from(v.blocks_received());
             r.blocks_missing += u64::from(v.blocks_missing());
+            r.dup_blocks += u64::from(v.dup_blocks);
             if v.first_block_at.is_none() {
                 r.never_started += 1;
             } else if v.stopped {

@@ -104,7 +104,7 @@ impl Controller {
         let mut best: Option<(SimTime, CubId)> = None;
         for d in 0..stripe.num_disks() {
             let t = params.slot_send_time(tiger_layout::DiskId(d), slot, now);
-            if best.map_or(true, |(bt, _)| t < bt) {
+            if best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, stripe.cub_of(tiger_layout::DiskId(d))));
             }
         }

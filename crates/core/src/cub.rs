@@ -380,6 +380,16 @@ impl Cub {
             }
             Message::DeadmanPing { from } => {
                 self.last_heard[from.index()] = now;
+                if self.believed_failed[from.index()] {
+                    // A ping from a cub this cub already declared dead:
+                    // a stalled process resumed (a zombie). Tell it so it
+                    // fences itself off — its streams were taken over,
+                    // and two servers working the same schedule would
+                    // double-deliver blocks.
+                    let me = sh.cub_node(self.id);
+                    let zombie = sh.cub_node(from);
+                    sh.send_control(now, me, zombie, Message::FailureNotice { failed: from });
+                }
             }
             Message::FailureNotice { failed } => {
                 self.on_failure_notice(sh, now, failed);
@@ -426,6 +436,26 @@ impl Cub {
             .catalog
             .locate(vs.file, vs.position)
             .expect("position checked in range");
+
+        // §4.1.2 idempotence, per-instance monotonicity: a state whose
+        // block this cub already serviced (or is servicing a later block
+        // of) is a wrapped, re-driven, or duplicated stale copy. Accepting
+        // it would put a second, lagging copy of the stream into
+        // circulation that re-delivers every block.
+        if self.already_served(&vs) {
+            let (slot, viewer, inc) = vkey(&vs);
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::VsDuplicate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
+            return;
+        }
 
         if loc.cub == self.id {
             self.accept_service(sh, now, vs, loc.disk);
@@ -946,6 +976,24 @@ impl Cub {
                 entry.missed = true;
                 sh.metrics.loss.failover_lost += 1;
             }
+            Err(DiskError::Transient) => {
+                // Injected transient read error: the block is lost (no
+                // retry path — the send deadline leaves no slack for one),
+                // but the disk and the viewer both continue.
+                entry.missed = true;
+                sh.metrics.loss.failover_lost += 1;
+                let (slot, viewer, inc) = vkey(&entry.vs);
+                sh.tracer.record(
+                    now,
+                    self.id.raw(),
+                    TraceEvent::DiskTransient {
+                        slot,
+                        viewer,
+                        inc,
+                        disk: disk_id.raw(),
+                    },
+                );
+            }
             Err(DiskError::OutOfRange) => {
                 unreachable!("index produced an out-of-range extent");
             }
@@ -963,6 +1011,16 @@ impl Cub {
             debug_assert!(false, "disk completion for a vanished service");
             return;
         };
+        if self.disks[entry.disk_local as usize].is_failed() {
+            // The disk died while this read was in flight: the data never
+            // arrived. The block is lost; the viewer continues.
+            entry.missed = true;
+            sh.metrics.loss.failover_lost += 1;
+            if self.active.get(&token).is_some_and(Active::finished) {
+                self.reclaim(now, token);
+            }
+            return;
+        }
         entry.read_ready = true;
         let (slot, viewer, inc) = vkey(&entry.vs);
         sh.tracer.record(
@@ -1079,7 +1137,9 @@ impl Cub {
         sh.metrics.loss.blocks_sent += 1;
         // Deliver to the client (receive time = last byte arrival, §5).
         let client = tiger_net::NetNode(entry.vs.client);
-        if let Some(at) = sh.net.send_data(now, node, client) {
+        let at = sh.net.send_data(now, node, client);
+        sh.trace_net_injections(now);
+        if let Some(at) = at {
             let (piece, total) = match entry.vs.kind {
                 StreamKind::Primary => (None, 1),
                 StreamKind::Mirror { piece, .. } => (Some(piece), sh.params.stripe().decluster),
@@ -1344,10 +1404,39 @@ impl Cub {
             .start_queue
             .iter()
             .any(|p| p.instance == pending.instance)
+            && !self.carries_instance(&pending.instance)
         {
             self.start_queue.push(pending);
         }
         self.schedule_insert_attempt(sh, now + SimDuration::from_nanos(1));
+    }
+
+    /// Whether this cub already carries schedule state for `instance` —
+    /// in its view, its active services, or the retired log. Receiving a
+    /// routed start must be idempotent like viewer states are (§4.1.2):
+    /// the network may duplicate a message, and a duplicate arriving
+    /// after the original start was inserted must not insert the viewer
+    /// into a second slot (every block would be delivered twice).
+    fn carries_instance(&self, instance: &ViewerInstance) -> bool {
+        self.view.iter().any(|(_, e)| e.instance == *instance)
+            || self.active.values().any(|a| a.vs.instance == *instance)
+            || self
+                .retired_log
+                .iter()
+                .any(|(_, vs)| vs.instance == *instance)
+    }
+
+    /// Whether this cub has already serviced `vs.play_seq` (or a later
+    /// block) of the instance — the staleness test behind the §4.1.2
+    /// receipt idempotence in `on_primary_state`.
+    pub(crate) fn already_served(&self, vs: &ViewerState) -> bool {
+        self.active
+            .values()
+            .any(|a| a.vs.instance == vs.instance && a.vs.play_seq >= vs.play_seq)
+            || self
+                .retired_log
+                .iter()
+                .any(|(_, r)| r.instance == vs.instance && r.play_seq >= vs.play_seq)
     }
 
     fn schedule_insert_attempt(&mut self, sh: &mut Shared, at: SimTime) {
@@ -1540,6 +1629,21 @@ impl Cub {
     }
 
     fn on_failure_notice(&mut self, sh: &mut Shared, now: SimTime, failed: CubId) {
+        if failed == self.id {
+            // The ring declared this cub dead while it was stalled, and
+            // the acting successor already covers its streams. Fence:
+            // stop serving entirely rather than double-deliver until the
+            // (offline) repair brings this cub back through a restripe.
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::CubFenced { cub: self.id.raw() },
+            );
+            self.power_cut(now);
+            let node = sh.cub_node(self.id);
+            sh.net.fail_node(node);
+            return;
+        }
         self.declare_failed(sh, now, failed);
     }
 
@@ -1555,6 +1659,16 @@ impl Cub {
             },
         );
         self.believed_failed[failed.index()] = true;
+        // Monitoring baseline: the ring just changed, and the new
+        // predecessor redirects its pings here only once it learns of the
+        // failure too. Measure its silence from this instant — otherwise
+        // a takeover instantly declares a never-heard-from predecessor
+        // with an epoch-sized silence claim.
+        if let Some(p) = self.prev_living(self.id) {
+            if p != self.id {
+                self.last_heard[p.index()] = self.last_heard[p.index()].max(now);
+            }
+        }
         // §2.3 gap bridging: "If two or more consecutive cubs are failed,
         // the preceding living cub will send scheduling information to the
         // succeeding living cub." Re-send the advanced copy of every
@@ -1659,9 +1773,9 @@ impl Cub {
             .copied()
             .collect();
         self.redundant_starts.retain(|p| {
-            !sh.catalog
+            sh.catalog
                 .get(p.file)
-                .is_some_and(|m| stripe.cub_of(m.start_disk) == failed)
+                .is_none_or(|m| stripe.cub_of(m.start_disk) != failed)
         });
         for p in promote {
             if !self.start_queue.iter().any(|q| q.instance == p.instance) {

@@ -74,6 +74,23 @@ pub enum Event {
         /// The cub to kill.
         cub: CubId,
     },
+    /// Fault injection: kill one disk on a living cub — distinct from
+    /// [`Event::FailCub`]: the cub keeps running (and pinging), so no
+    /// deadman fires and no mirror takeover covers the lost content.
+    FailDisk {
+        /// The cub owning the disk.
+        cub: CubId,
+        /// The cub-local disk index.
+        disk_local: u32,
+    },
+    /// Fault injection: record a trace marker (freeze/resume instants,
+    /// fault-window open/close) without touching any protocol state.
+    FaultNote {
+        /// The cub to record the marker on (or `tiger_trace::CTRL`).
+        cub: u32,
+        /// The marker event.
+        ev: tiger_trace::TraceEvent,
+    },
     /// Fault injection: power-cut the (primary) controller.
     FailController,
     /// The backup controller's silence timer fired: promote it.

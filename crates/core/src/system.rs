@@ -2,6 +2,10 @@
 //! fault injection, and measurement windows.
 
 use tiger_disk::Disk;
+use tiger_faults::{
+    DiskFaultKind, DiskFaults, FaultPlan, NetFaults, NetInjection, NetInjectionKind, ProcFaults,
+    ProcessFault, Topology,
+};
 use tiger_layout::catalog::BitrateMode;
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::{BlockNum, CubId, FileCatalog, FileId, MirrorPlacement, ViewerId};
@@ -45,6 +49,10 @@ pub struct Shared {
     /// observer: nothing in the simulation reads it back, so enabling it
     /// cannot change a run.
     pub tracer: Tracer,
+    /// Process-level fault injections (freeze windows). Disabled unless a
+    /// fault plan was applied; like the tracer, the no-faults path costs
+    /// one pointer test.
+    pub faults: ProcFaults,
 }
 
 impl Shared {
@@ -83,8 +91,70 @@ impl Shared {
 
     /// Sends a control message and schedules its delivery event.
     pub fn send_control(&mut self, now: SimTime, src: NetNode, dst: NetNode, msg: Message) {
-        if let Some(at) = self.net.send_control(now, src, dst, msg.control_bytes()) {
+        let at = self.net.send_control(now, src, dst, msg.control_bytes());
+        if self.net.has_fault_injections() {
+            for inj in self.net.take_fault_injections() {
+                if let NetInjectionKind::Duplicated { second_delivery } = inj.kind {
+                    self.queue.schedule(
+                        second_delivery,
+                        Event::Deliver {
+                            dst,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                self.record_net_injection(now, &inj);
+            }
+        }
+        if let Some(at) = at {
             self.queue.schedule(at, Event::Deliver { dst, msg });
+        }
+    }
+
+    /// Trace cub id for a fault event on network node `node`: cubs record
+    /// on their own lane, everything else (controllers, clients) on CTRL.
+    fn fault_lane(&self, node: u32) -> u32 {
+        let num_cubs = self.cfg.stripe.num_cubs;
+        if node >= 1 && node <= num_cubs {
+            node - 1
+        } else {
+            CTRL
+        }
+    }
+
+    fn record_net_injection(&mut self, now: SimTime, inj: &NetInjection) {
+        let lane = self.fault_lane(inj.src);
+        let ev = match inj.kind {
+            NetInjectionKind::Dropped { partition } => TraceEvent::NetDrop {
+                src: inj.src,
+                dst: inj.dst,
+                partition,
+            },
+            NetInjectionKind::Delayed { extra } => TraceEvent::NetDelay {
+                src: inj.src,
+                dst: inj.dst,
+                extra_ns: extra.as_nanos(),
+            },
+            NetInjectionKind::Duplicated { .. } => TraceEvent::NetDup {
+                src: inj.src,
+                dst: inj.dst,
+            },
+        };
+        self.tracer.record(now, lane, ev);
+    }
+
+    /// Drains and traces data-plane injections after a
+    /// [`tiger_net::Network::send_data`] call (cub send path). The data
+    /// plane never duplicates, so only drops and delays can appear here.
+    pub fn trace_net_injections(&mut self, now: SimTime) {
+        if self.net.has_fault_injections() {
+            for inj in self.net.take_fault_injections() {
+                debug_assert!(
+                    !matches!(inj.kind, NetInjectionKind::Duplicated { .. }),
+                    "send_data must never duplicate"
+                );
+                self.record_net_injection(now, &inj);
+            }
         }
     }
 }
@@ -171,6 +241,7 @@ impl TigerSystem {
                 metrics: Metrics::new(),
                 omniscient: None,
                 tracer: Tracer::from_env(),
+                faults: ProcFaults::disabled(),
             },
             cubs,
             controller: Controller::new(),
@@ -380,6 +451,154 @@ impl TigerSystem {
         self.shared.queue.schedule(at, Event::FailCub { cub });
     }
 
+    /// Compiles and installs a declarative fault plan (see
+    /// [`tiger_faults::FaultPlan`]): network injectors on the switch, disk
+    /// injectors on each targeted drive, freeze windows on the event loop,
+    /// and one-shot faults (crashes, power-domain cuts, disk deaths) as
+    /// scheduled events. Fault randomness draws from a dedicated
+    /// `"faults"` RNG subtree, so an empty plan leaves the run
+    /// byte-identical and a fixed plan perturbs nothing but itself.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        let num_cubs = self.shared.cfg.stripe.num_cubs;
+        let disks_per_cub = self.shared.cfg.stripe.disks_per_cub;
+        let topo = Topology {
+            num_cubs,
+            num_clients: self.shared.cfg.num_clients,
+            backup_controller: self.shared.cfg.backup_controller,
+        };
+        let tree = RngTree::new(self.shared.cfg.seed).subtree("faults", 0);
+        let net_faults = NetFaults::compile(plan, topo, tree.fork("net", 0));
+        if net_faults.active() {
+            self.shared.net.set_faults(net_faults);
+        }
+        for c in 0..num_cubs {
+            for l in 0..disks_per_cub {
+                let df = DiskFaults::compile(
+                    plan,
+                    c,
+                    l,
+                    tree.fork("disk", u64::from(c) * 1000 + u64::from(l)),
+                );
+                if df.active() {
+                    self.cubs[c as usize].disks_mut()[l as usize].set_faults(df);
+                }
+            }
+        }
+        self.shared.faults = ProcFaults::compile(plan);
+        for pf in &plan.process {
+            match pf {
+                ProcessFault::Crash { cub, at } => self.fail_cub_at(*at, CubId(*cub)),
+                ProcessFault::PowerDomain { cubs, at } => {
+                    // One physical power domain: every cub on it dies at
+                    // the same instant (correlated, not independent).
+                    for &c in cubs {
+                        self.fail_cub_at(*at, CubId(c));
+                    }
+                }
+                ProcessFault::Freeze { cub, from, until } => {
+                    self.shared.queue.schedule(
+                        *from,
+                        Event::FaultNote {
+                            cub: *cub,
+                            ev: TraceEvent::CubFreeze { cub: *cub },
+                        },
+                    );
+                    self.shared.queue.schedule(
+                        *until,
+                        Event::FaultNote {
+                            cub: *cub,
+                            ev: TraceEvent::CubResume { cub: *cub },
+                        },
+                    );
+                }
+            }
+        }
+        for df in &plan.disks {
+            if let DiskFaultKind::Death { at } = df.kind {
+                self.shared.queue.schedule(
+                    at,
+                    Event::FailDisk {
+                        cub: CubId(df.cub),
+                        disk_local: df.disk,
+                    },
+                );
+            }
+        }
+        for w in plan.windows() {
+            self.shared.queue.schedule(
+                w.from,
+                Event::FaultNote {
+                    cub: CTRL,
+                    ev: TraceEvent::FaultStart { clause: w.clause },
+                },
+            );
+            if w.until < SimTime::MAX {
+                self.shared.queue.schedule(
+                    w.until,
+                    Event::FaultNote {
+                        cub: CTRL,
+                        ev: TraceEvent::FaultEnd { clause: w.clause },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Invariant check: no living cub's schedule view runs further ahead
+    /// of real time than `maxVStateLead` allows (§3.3), plus one slack
+    /// term for the declustered mirror fan-out (a failure forwards mirror
+    /// entries up to `decluster + 1` slots ahead of the primary's time).
+    /// Returns violation strings (empty = pass). On rings short enough
+    /// that the legitimate lead wraps the whole schedule the check is
+    /// vacuous and reports nothing.
+    pub fn check_view_lead(&self) -> Vec<String> {
+        let now = self.shared.queue.now();
+        let params = &self.shared.params;
+        let stripe = params.stripe();
+        let bpt = params.block_play_time();
+        let max_lead =
+            self.shared.cfg.max_vstate_lead + bpt.mul_u64(u64::from(stripe.decluster) + 1);
+        if max_lead >= params.schedule_len() {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        for cub in &self.cubs {
+            if cub.failed {
+                continue;
+            }
+            for (slot, entry) in cub.view().iter() {
+                // A just-serviced entry awaiting the retirement pass
+                // measures a whole lap ahead; only entries still waiting
+                // for their service count against the lead.
+                if cub.already_served(entry) {
+                    continue;
+                }
+                // The entry is due when the earliest of this cub's disks
+                // next meets the slot.
+                let lead = (0..stripe.disks_per_cub)
+                    .map(|l| {
+                        let disk = stripe.disk_of(cub.id, l);
+                        params.slot_send_time(disk, slot, now).saturating_since(now)
+                    })
+                    .min()
+                    .unwrap_or(SimDuration::ZERO);
+                if lead > max_lead {
+                    violations.push(format!(
+                        "{}: view entry for slot {} (viewer {}) leads by {lead:?} > \
+                         {max_lead:?} at {now}",
+                        cub.id,
+                        slot.raw(),
+                        entry.instance.viewer.raw(),
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
     /// Schedules a power-cut of the primary controller at time `at`. With
     /// a backup controller configured, the backup promotes itself after
     /// the failover timeout; without one, running streams continue
@@ -404,6 +623,18 @@ impl TigerSystem {
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
+        if self.shared.faults.active() {
+            if let Some(cub) = self.frozen_target(&event) {
+                if let Some(resume) = self.shared.faults.frozen_until(cub.raw(), now) {
+                    // A frozen cub processes nothing: its events are parked
+                    // until the resume instant. Arrival order is preserved
+                    // (the queue breaks timestamp ties by insertion order),
+                    // so a thaw replays the backlog in the original order.
+                    self.shared.queue.schedule(resume, event);
+                    return;
+                }
+            }
+        }
         match event {
             Event::Deliver { dst, msg } => self.on_deliver(now, dst, msg),
             Event::ReadIssue { cub, token } => {
@@ -461,6 +692,20 @@ impl TigerSystem {
                 let node = self.shared.cub_node(cub);
                 self.shared.net.fail_node(node);
             }
+            Event::FailDisk { cub, disk_local } => {
+                self.shared.tracer.record(
+                    now,
+                    CTRL,
+                    TraceEvent::DiskDeath {
+                        cub: cub.raw(),
+                        disk: disk_local,
+                    },
+                );
+                self.cubs[cub.index()].disks_mut()[disk_local as usize].fail(now);
+            }
+            Event::FaultNote { cub, ev } => {
+                self.shared.tracer.record(now, cub, ev);
+            }
             Event::FailController => {
                 let node = self.shared.controller_node();
                 self.shared.net.fail_node(node);
@@ -496,6 +741,28 @@ impl TigerSystem {
             Event::ClientSeek { instance, to_block } => {
                 self.on_client_seek(now, instance, to_block);
             }
+        }
+    }
+
+    /// The cub whose execution `event` represents, if freeze deferral
+    /// applies. Fault-injection events are exempt (a power cut kills even
+    /// a frozen cub), as is controller and client work: freezes model a
+    /// stalled cub process, nothing else.
+    fn frozen_target(&self, event: &Event) -> Option<CubId> {
+        let num_cubs = self.shared.cfg.stripe.num_cubs;
+        match event {
+            Event::Deliver { dst, .. } => {
+                (dst.raw() >= 1 && dst.raw() <= num_cubs).then(|| CubId(dst.raw() - 1))
+            }
+            Event::ReadIssue { cub, .. }
+            | Event::DiskDone { cub, .. }
+            | Event::SendDue { cub, .. }
+            | Event::SendDone { cub, .. }
+            | Event::ForwardPass { cub }
+            | Event::InsertAttempt { cub }
+            | Event::DeadmanPing { cub }
+            | Event::DeadmanCheck { cub } => Some(*cub),
+            _ => None,
         }
     }
 
@@ -871,6 +1138,7 @@ impl TigerSystem {
             total.never_started += r.never_started;
             total.blocks_received += r.blocks_received;
             total.blocks_missing += r.blocks_missing;
+            total.dup_blocks += r.dup_blocks;
         }
         total
     }

@@ -12,6 +12,7 @@
 //!   which the disk was waiting for an I/O completion", i.e. the fraction of
 //!   time at least one request is outstanding (queueing included).
 
+use tiger_faults::{DiskFaults, DiskVerdict};
 use tiger_sim::rng::sample_bounded_pareto;
 use tiger_sim::{BusyTracker, ByteSize, Counter, SimDuration, SimRng, SimTime};
 
@@ -45,6 +46,9 @@ pub enum DiskError {
     Failed,
     /// The request extends past the end of the disk.
     OutOfRange,
+    /// Fault injection failed this read; the disk stays alive and later
+    /// requests may succeed.
+    Transient,
 }
 
 impl std::fmt::Display for DiskError {
@@ -52,6 +56,7 @@ impl std::fmt::Display for DiskError {
         match self {
             DiskError::Failed => write!(f, "disk has failed"),
             DiskError::OutOfRange => write!(f, "request extends past end of disk"),
+            DiskError::Transient => write!(f, "transient read error (injected)"),
         }
     }
 }
@@ -78,6 +83,9 @@ pub struct Disk {
     bytes: Counter,
     mirror_reads: Counter,
     blips: Counter,
+    /// Fault injector; disabled (one pointer test per submit) by default.
+    faults: DiskFaults,
+    transient_errors: Counter,
 }
 
 impl Disk {
@@ -96,7 +104,16 @@ impl Disk {
             bytes: Counter::new(),
             mirror_reads: Counter::new(),
             blips: Counter::new(),
+            faults: DiskFaults::disabled(),
+            transient_errors: Counter::new(),
         }
+    }
+
+    /// Installs a compiled fault injector (replacing the disabled
+    /// default). The injector draws from its own RNG stream, so the
+    /// disk's service-time sequence is untouched by fault decisions.
+    pub fn set_faults(&mut self, faults: DiskFaults) {
+        self.faults = faults;
     }
 
     /// The drive's static profile.
@@ -136,6 +153,20 @@ impl Disk {
         if req.offset + req.len.as_bytes() > cap {
             return Err(DiskError::OutOfRange);
         }
+        // Fault injection sees the request before it occupies the head: a
+        // transient error is an immediate host-side failure, not a
+        // media-time consumer; a degraded window stretches service.
+        let mut degrade = 1.0;
+        if self.faults.active() {
+            match self.faults.verdict(now) {
+                DiskVerdict::Transient => {
+                    self.transient_errors.incr();
+                    return Err(DiskError::Transient);
+                }
+                DiskVerdict::Degraded(factor) => degrade = factor,
+                DiskVerdict::Clean => {}
+            }
+        }
 
         if self.outstanding == 0 {
             self.load.begin(now);
@@ -156,6 +187,9 @@ impl Disk {
             );
             service = SimDuration::from_nanos((service.as_nanos() as f64 * mult) as u64);
             self.blips.incr();
+        }
+        if degrade > 1.0 {
+            service = SimDuration::from_nanos((service.as_nanos() as f64 * degrade) as u64);
         }
 
         let done = start + service;
@@ -240,6 +274,11 @@ impl Disk {
     /// Lifetime count of blipped (heavy-tail slowed) requests.
     pub fn total_blips(&self) -> u64 {
         self.blips.total()
+    }
+
+    /// Lifetime count of injected transient read errors.
+    pub fn total_transient_errors(&self) -> u64 {
+        self.transient_errors.total()
     }
 }
 
@@ -366,6 +405,75 @@ mod tests {
         }
         let frac = d.total_blips() as f64 / 1000.0;
         assert!((0.1..0.3).contains(&frac), "blip fraction {frac}");
+    }
+
+    #[test]
+    fn injected_transient_errors_fail_reads_without_occupying_the_head() {
+        use tiger_faults::FaultPlan;
+        let plan = FaultPlan::new().disk_transient(
+            0,
+            0,
+            1.0,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let mut d = disk();
+        d.set_faults(DiskFaults::compile(
+            &plan,
+            0,
+            0,
+            RngTree::new(1).subtree("faults", 0).fork("disk", 0),
+        ));
+        // Before the window: clean.
+        let c = d.submit(SimTime::ZERO, req(0, 250_000)).expect("clean");
+        d.complete(c);
+        // Inside: every read fails, the disk stays alive, nothing queues.
+        assert_eq!(
+            d.submit(SimTime::from_secs(1), req(0, 250_000)),
+            Err(DiskError::Transient)
+        );
+        assert!(!d.is_failed());
+        assert_eq!(d.outstanding(), 0);
+        // After: clean again, and only the error counter remembers.
+        d.submit(SimTime::from_secs(2), req(0, 250_000))
+            .expect("recovered");
+        assert_eq!(d.total_transient_errors(), 1);
+        assert_eq!(d.total_reads(), 2);
+    }
+
+    #[test]
+    fn degraded_window_stretches_service_by_its_factor() {
+        use tiger_faults::FaultPlan;
+        let factor = 3.0;
+        let plan = FaultPlan::new().disk_degraded(
+            0,
+            0,
+            factor,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        let service_of = |at: SimTime, faulted: bool| {
+            let mut d = disk();
+            if faulted {
+                d.set_faults(DiskFaults::compile(
+                    &plan,
+                    0,
+                    0,
+                    RngTree::new(1).subtree("faults", 0).fork("disk", 0),
+                ));
+            }
+            d.submit(at, req(1_000_000_000, 250_000)).expect("accepts") - at
+        };
+        let t = SimTime::from_secs(15);
+        let clean = service_of(t, false);
+        let slowed = service_of(t, true);
+        let ratio = slowed.as_nanos() as f64 / clean.as_nanos() as f64;
+        assert!(
+            (ratio - factor).abs() < 1e-6,
+            "service stretched by {ratio}, want {factor}"
+        );
+        // Outside the window the faulted disk matches the clean one.
+        assert_eq!(service_of(SimTime::from_secs(5), true), clean);
     }
 
     #[test]

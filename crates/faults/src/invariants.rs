@@ -1,0 +1,304 @@
+//! Pure invariant checks over fault plans and observed failure
+//! declarations.
+//!
+//! The checks here are plain interval algebra — no system types — so the
+//! core crate and the chaos runner can share them. The system-side
+//! invariants that need live state (no double-delivered block, schedule
+//! views within `maxVStateLead`, bounded loss window) live next to that
+//! state; this module owns the one invariant that is purely a function of
+//! the plan and the trace: **every deadman declaration must be justified
+//! by a real communication stall**.
+
+use tiger_sim::{SimDuration, SimTime};
+
+use crate::plan::{FaultPlan, NodeSel, ProcessFault, Topology};
+
+/// A merged, sorted set of half-open `[from, until)` intervals during
+/// which some condition holds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Intervals {
+    spans: Vec<(SimTime, SimTime)>,
+}
+
+impl Intervals {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `[from, until)`, merging with anything it touches.
+    pub fn add(&mut self, from: SimTime, until: SimTime) {
+        if until <= from {
+            return;
+        }
+        self.spans.push((from, until));
+        self.spans.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(self.spans.len());
+        for &(f, u) in &self.spans {
+            match merged.last_mut() {
+                Some(last) if f <= last.1 => last.1 = last.1.max(u),
+                _ => merged.push((f, u)),
+            }
+        }
+        self.spans = merged;
+    }
+
+    /// Whether `[from, until)` lies entirely inside one merged span.
+    /// An empty query interval (`until <= from`) is trivially covered.
+    pub fn covers(&self, from: SimTime, until: SimTime) -> bool {
+        if until <= from {
+            return true;
+        }
+        self.spans.iter().any(|&(f, u)| f <= from && until <= u)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The merged spans, sorted.
+    pub fn spans(&self) -> &[(SimTime, SimTime)] {
+        &self.spans
+    }
+}
+
+/// The intervals during which `cub` cannot get a ping through to
+/// `observer`, according to `plan`: its crashes and power-domain cuts
+/// (which stall it forever), its freeze windows, and any partition that
+/// separates the pair.
+pub fn stall_intervals(plan: &FaultPlan, topo: Topology, cub: u32, observer: u32) -> Intervals {
+    let mut out = Intervals::new();
+    for p in &plan.process {
+        match p {
+            ProcessFault::Crash { cub: c, at } if *c == cub => out.add(*at, SimTime::MAX),
+            ProcessFault::PowerDomain { cubs, at } if cubs.contains(&cub) => {
+                out.add(*at, SimTime::MAX)
+            }
+            ProcessFault::Freeze {
+                cub: c,
+                from,
+                until,
+            } if *c == cub => out.add(*from, *until),
+            _ => {}
+        }
+    }
+    let cub_node = topo.cub_node(cub);
+    let obs_node = topo.cub_node(observer);
+    let in_group = |group: &[NodeSel], node: u32| group.iter().any(|&s| topo.matches(s, node));
+    for p in &plan.partitions {
+        let separates = (in_group(&p.a, cub_node) && in_group(&p.b, obs_node))
+            || (in_group(&p.b, cub_node) && in_group(&p.a, obs_node));
+        if separates {
+            out.add(p.from, p.heal);
+        }
+    }
+    out
+}
+
+/// One observed deadman declaration, lifted out of the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObservedDeclare {
+    /// When the declaration happened.
+    pub at: SimTime,
+    /// The cub that declared the failure.
+    pub declarer: u32,
+    /// The cub declared dead.
+    pub failed: u32,
+    /// The silence the declarer measured.
+    pub silence: SimDuration,
+}
+
+/// Checks that every declaration in `declares` is justified: the measured
+/// silence strictly exceeds `timeout`, and the declared cub was genuinely
+/// unable to reach its declarer for essentially the whole claimed silence.
+///
+/// `grace` absorbs the protocol's honest measurement slop at both ends of
+/// the silence window — the last ping before a stall can land up to one
+/// deadman interval plus one worst-case network latency after the stall
+/// begins, and symmetrically a resumed cub's first ping takes as long to
+/// arrive — so the stall intervals derived from the plan must cover
+/// `[at - silence + grace, at - grace)`. Callers pass
+/// `deadman_interval + latency.worst_case()`.
+///
+/// Returns one human-readable violation string per unjustified
+/// declaration (empty = invariant holds).
+pub fn check_deadman_justified(
+    plan: &FaultPlan,
+    topo: Topology,
+    declares: &[ObservedDeclare],
+    timeout: SimDuration,
+    grace: SimDuration,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for d in declares {
+        if d.silence <= timeout {
+            violations.push(format!(
+                "cub{} declared cub{} dead at {} with silence {} <= deadman timeout {}",
+                d.declarer, d.failed, d.at, d.silence, timeout
+            ));
+            continue;
+        }
+        let stalls = stall_intervals(plan, topo, d.failed, d.declarer);
+        let from = d.at.saturating_sub(d.silence) + grace;
+        let until = d.at.saturating_sub(grace);
+        if !stalls.covers(from, until) {
+            violations.push(format!(
+                "cub{} declared cub{} dead at {} (silence {}), but the plan stalls it only \
+                 during {:?} — a live cub was declared dead",
+                d.declarer,
+                d.failed,
+                d.at,
+                d.silence,
+                stalls.spans()
+            ));
+        }
+    }
+    violations
+}
+
+/// The bound the loss-window invariant holds a single clean failure to:
+/// detection can take up to the deadman timeout plus two ping intervals
+/// plus one worst-case network hop, and the schedule needs a few block
+/// play times for the failure notices to propagate and mirrored sends to
+/// take over.
+pub fn loss_window_bound(
+    deadman_timeout: SimDuration,
+    deadman_interval: SimDuration,
+    worst_latency: SimDuration,
+    block_play_time: SimDuration,
+) -> SimDuration {
+    deadman_timeout + deadman_interval.mul_u64(2) + worst_latency + block_play_time.mul_u64(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn d(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn intervals_merge_and_cover() {
+        let mut iv = Intervals::new();
+        assert!(iv.is_empty());
+        iv.add(t(5), t(7));
+        iv.add(t(1), t(3));
+        iv.add(t(2), t(5)); // bridges the gap
+        assert_eq!(iv.spans(), &[(t(1), t(7))]);
+        assert!(iv.covers(t(2), t(6)));
+        assert!(iv.covers(t(1), t(7)));
+        assert!(!iv.covers(t(0), t(2)));
+        assert!(!iv.covers(t(6), t(8)));
+        // Empty queries and degenerate adds.
+        assert!(iv.covers(t(9), t(9)));
+        iv.add(t(8), t(8));
+        assert_eq!(iv.spans().len(), 1);
+    }
+
+    #[test]
+    fn stalls_combine_crash_freeze_and_partition() {
+        let topo = Topology {
+            num_cubs: 4,
+            num_clients: 0,
+            backup_controller: false,
+        };
+        let plan = FaultPlan::new()
+            .freeze(2, t(1), t(3))
+            .partition(vec![NodeSel::Cub(2)], vec![NodeSel::Cub(3)], t(5), t(6))
+            .crash(2, t(8));
+        // Cub 3 observes all three stalls of cub 2.
+        let stalls = stall_intervals(&plan, topo, 2, 3);
+        assert_eq!(
+            stalls.spans(),
+            &[(t(1), t(3)), (t(5), t(6)), (t(8), SimTime::MAX)]
+        );
+        // Cub 1 is on cub 2's side of nothing: the partition doesn't
+        // separate them, so only the freeze and the crash stall the pair.
+        let stalls = stall_intervals(&plan, topo, 2, 1);
+        assert_eq!(stalls.spans(), &[(t(1), t(3)), (t(8), SimTime::MAX)]);
+        // A power-domain cut stalls every member.
+        let pd = FaultPlan::new().power_domain(vec![0, 1], t(4));
+        assert_eq!(
+            stall_intervals(&pd, topo, 1, 2).spans(),
+            &[(t(4), SimTime::MAX)]
+        );
+        assert!(stall_intervals(&pd, topo, 2, 1).is_empty());
+    }
+
+    #[test]
+    fn justified_and_unjustified_declares() {
+        let topo = Topology {
+            num_cubs: 4,
+            num_clients: 0,
+            backup_controller: false,
+        };
+        let timeout = d(2);
+        let grace = SimDuration::from_millis(600);
+        let plan = FaultPlan::new().crash(1, t(5));
+        // Silence accumulated since the crash: justified.
+        let ok = ObservedDeclare {
+            at: t(8),
+            declarer: 2,
+            failed: 1,
+            silence: d(3),
+        };
+        assert!(check_deadman_justified(&plan, topo, &[ok], timeout, grace).is_empty());
+        // Silence at exactly the timeout: the strict threshold was violated.
+        let early = ObservedDeclare {
+            silence: timeout,
+            ..ok
+        };
+        let v = check_deadman_justified(&plan, topo, &[early], timeout, grace);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("<= deadman timeout"), "{}", v[0]);
+        // A declaration against a cub the plan never stalls: a live cub
+        // was declared dead.
+        let phantom = ObservedDeclare { failed: 3, ..ok };
+        let v = check_deadman_justified(&plan, topo, &[phantom], timeout, grace);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("live cub"), "{}", v[0]);
+    }
+
+    #[test]
+    fn freeze_barely_long_enough_is_justified() {
+        let topo = Topology {
+            num_cubs: 4,
+            num_clients: 0,
+            backup_controller: false,
+        };
+        let timeout = d(2);
+        let grace = SimDuration::from_millis(600);
+        // Frozen 1s..5s; declared at 4.5s with silence 2.2s. The stall
+        // must cover [4.5 - 2.2 + 0.6, 4.5 - 0.6) = [2.9, 3.9) — it does.
+        let plan = FaultPlan::new().freeze(0, t(1), t(5));
+        let declare = ObservedDeclare {
+            at: SimTime::from_millis(4_500),
+            declarer: 1,
+            failed: 0,
+            silence: SimDuration::from_millis(2_200),
+        };
+        assert!(check_deadman_justified(&plan, topo, &[declare], timeout, grace).is_empty());
+        // The same declare against a freeze that ended at 3s is not
+        // covered: the cub was back for ~1.5s of the claimed silence.
+        let plan = FaultPlan::new().freeze(0, t(1), t(3));
+        let v = check_deadman_justified(&plan, topo, &[declare], timeout, grace);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn loss_window_bound_tracks_its_terms() {
+        let bound = loss_window_bound(
+            d(5),
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(10),
+            d(1),
+        );
+        assert_eq!(bound, SimDuration::from_millis(5_000 + 1_000 + 10 + 4_000));
+    }
+}

@@ -62,7 +62,7 @@ impl IndexEntry {
             return Err(IndexError::OffsetTooLarge);
         }
         let len = length.as_bytes();
-        if len % LENGTH_UNIT != 0 {
+        if !len.is_multiple_of(LENGTH_UNIT) {
             return Err(IndexError::BadLength);
         }
         let units = len / LENGTH_UNIT;

@@ -34,6 +34,16 @@ impl LatencyModel {
         }
     }
 
+    /// The same jitter distribution shifted out by a fixed `extra` —
+    /// how fault injection models a slow link: the perturbed message is
+    /// sampled from the skewed model instead of the configured one.
+    pub fn skewed(self, extra: SimDuration) -> Self {
+        LatencyModel {
+            base: self.base + extra,
+            jitter: self.jitter,
+        }
+    }
+
     /// Draws one latency sample.
     pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         if self.jitter.is_zero() {
@@ -69,6 +79,18 @@ mod tests {
         let mut rng = RngTree::new(9).fork("lat", 1);
         assert_eq!(m.sample(&mut rng), SimDuration::from_millis(5));
         assert_eq!(m.worst_case(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn skewed_model_shifts_base_but_not_jitter() {
+        let m = LatencyModel::lan_default().skewed(SimDuration::from_millis(20));
+        assert_eq!(m.base, SimDuration::from_millis(22));
+        assert_eq!(m.jitter, SimDuration::from_millis(8));
+        let mut rng = RngTree::new(9).fork("lat", 3);
+        for _ in 0..1_000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= m.base && s <= m.worst_case());
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use tiger_faults::{NetFaults, NetInjection, NetInjectionKind, NetPerturb};
 use tiger_sim::{Bandwidth, Counter, SimDuration, SimRng, SimTime};
 
 use crate::latency::LatencyModel;
@@ -64,6 +65,8 @@ pub struct Network {
     /// Per-sender control-message bytes (the Figures 8/9 right-axis metric).
     control_bytes: Vec<Counter>,
     control_msgs: Vec<Counter>,
+    /// Fault injector; disabled (one pointer test per send) by default.
+    faults: NetFaults,
 }
 
 impl Network {
@@ -78,7 +81,28 @@ impl Network {
             last_delivery: HashMap::new(),
             control_bytes: (0..nodes).map(|_| Counter::new()).collect(),
             control_msgs: (0..nodes).map(|_| Counter::new()).collect(),
+            faults: NetFaults::disabled(),
         }
+    }
+
+    /// Installs a compiled fault injector (replacing the disabled
+    /// default). The injector draws from its own RNG stream, so
+    /// installing a disabled one is exactly the no-faults network.
+    pub fn set_faults(&mut self, faults: NetFaults) {
+        self.faults = faults;
+    }
+
+    /// Whether [`take_fault_injections`](Self::take_fault_injections)
+    /// would return anything — the cheap post-send check.
+    pub fn has_fault_injections(&self) -> bool {
+        self.faults.has_injections()
+    }
+
+    /// Drains the log of fault injections carried out since the last
+    /// drain, in the order they happened. The caller turns these into
+    /// trace events and (for duplicates) extra deliveries.
+    pub fn take_fault_injections(&mut self) -> Vec<NetInjection> {
+        self.faults.take_injections()
     }
 
     /// Number of registered nodes.
@@ -118,22 +142,70 @@ impl Network {
         if self.failed[src.index()] || self.failed[dst.index()] {
             return None;
         }
+        // Metering happens before injection: a dropped message was still
+        // sent and paid for at the sender.
         self.control_bytes[src.index()].add(bytes);
         self.control_msgs[src.index()].incr();
-        let sampled = now + self.latency.sample(&mut self.rng);
+        let mut extra = SimDuration::ZERO;
+        let mut duplicate = false;
+        if self.faults.active() {
+            match self.faults.verdict(now, src.raw(), dst.raw()) {
+                Some(NetPerturb::Drop { partition }) => {
+                    self.faults.note(NetInjection {
+                        src: src.raw(),
+                        dst: dst.raw(),
+                        kind: NetInjectionKind::Dropped { partition },
+                    });
+                    return None;
+                }
+                Some(NetPerturb::Tweak {
+                    extra: e,
+                    duplicate: d,
+                }) => {
+                    extra = e;
+                    duplicate = d;
+                }
+                None => {}
+            }
+        }
+        let model = self.latency.skewed(extra);
+        let sampled = now + model.sample(&mut self.rng);
+        let delivery = self.fifo_clamp(src, dst, sampled);
+        if !extra.is_zero() {
+            self.faults.note(NetInjection {
+                src: src.raw(),
+                dst: dst.raw(),
+                kind: NetInjectionKind::Delayed { extra },
+            });
+        }
+        if duplicate {
+            // The copy is a fresh send on the same channel: own latency
+            // sample, FIFO-clamped behind the original.
+            let sampled = now + model.sample(&mut self.rng);
+            let second_delivery = self.fifo_clamp(src, dst, sampled);
+            self.faults.note(NetInjection {
+                src: src.raw(),
+                dst: dst.raw(),
+                kind: NetInjectionKind::Duplicated { second_delivery },
+            });
+        }
+        Some(delivery)
+    }
+
+    /// FIFO per (src, dst): never deliver before (or at the same instant
+    /// as) the previous message on this channel.
+    fn fifo_clamp(&mut self, src: NetNode, dst: NetNode, sampled: SimTime) -> SimTime {
         let entry = self
             .last_delivery
             .entry((src, dst))
             .or_insert(SimTime::ZERO);
-        // FIFO: never deliver before (or at the same instant as) the
-        // previous message on this channel.
         let delivery = if sampled > *entry {
             sampled
         } else {
             *entry + SimDuration::from_nanos(1)
         };
         *entry = delivery;
-        Some(delivery)
+        delivery
     }
 
     /// Computes a delivery time for a data-plane payload (stream data) from
@@ -144,7 +216,32 @@ impl Network {
         if self.failed[src.index()] || self.failed[dst.index()] {
             return None;
         }
-        Some(now + self.latency.sample(&mut self.rng))
+        // Fault injection applies drops and delays to the data plane but
+        // never duplication: a double-delivered block must stay provably
+        // a protocol bug, not an injected one.
+        let mut extra = SimDuration::ZERO;
+        if self.faults.active() {
+            match self.faults.verdict(now, src.raw(), dst.raw()) {
+                Some(NetPerturb::Drop { partition }) => {
+                    self.faults.note(NetInjection {
+                        src: src.raw(),
+                        dst: dst.raw(),
+                        kind: NetInjectionKind::Dropped { partition },
+                    });
+                    return None;
+                }
+                Some(NetPerturb::Tweak { extra: e, .. }) => extra = e,
+                None => {}
+            }
+        }
+        if !extra.is_zero() {
+            self.faults.note(NetInjection {
+                src: src.raw(),
+                dst: dst.raw(),
+                kind: NetInjectionKind::Delayed { extra },
+            });
+        }
+        Some(now + self.latency.skewed(extra).sample(&mut self.rng))
     }
 
     /// Begins a paced stream send from `src`; returns `false` on overcommit
@@ -313,5 +410,135 @@ mod tests {
         let mut n = net(2);
         n.fail_node(NetNode(0));
         assert!(!n.begin_stream(SimTime::ZERO, NetNode(0), Bandwidth::from_mbit_per_sec(2)));
+    }
+
+    // --- Fault injection -----------------------------------------------------
+
+    use tiger_faults::{FaultPlan, NetInjectionKind, NodeSel, Topology};
+
+    /// A 2-cub/0-client topology whose nodes line up with `net(3)`:
+    /// ctrl=0, cub0=1, cub1=2.
+    fn topo3() -> Topology {
+        Topology {
+            num_cubs: 2,
+            num_clients: 0,
+            backup_controller: false,
+        }
+    }
+
+    fn with_plan(nodes: u32, topo: Topology, plan: &FaultPlan) -> Network {
+        let mut n = net(nodes);
+        n.set_faults(NetFaults::compile(
+            plan,
+            topo,
+            RngTree::new(5).subtree("faults", 0).fork("net", 0),
+        ));
+        n
+    }
+
+    #[test]
+    fn injected_drop_vanishes_but_meters_and_logs() {
+        let plan = FaultPlan::new().drop_msgs(
+            NodeSel::Cub(0),
+            NodeSel::Cub(1),
+            1.0,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let mut n = with_plan(3, topo3(), &plan);
+        assert!(n
+            .send_control(SimTime::from_secs(1), NetNode(1), NetNode(2), 100)
+            .is_none());
+        // The sender still paid for the send.
+        assert_eq!(n.total_control_bytes(NetNode(1)), 100);
+        assert!(n.has_fault_injections());
+        let inj = n.take_fault_injections();
+        assert_eq!(inj.len(), 1);
+        assert_eq!(inj[0].kind, NetInjectionKind::Dropped { partition: false });
+        assert!(!n.has_fault_injections());
+        // The untouched reverse link still delivers, logging nothing.
+        assert!(n
+            .send_control(SimTime::from_secs(1), NetNode(2), NetNode(1), 100)
+            .is_some());
+        assert!(!n.has_fault_injections());
+    }
+
+    #[test]
+    fn injected_delay_shifts_delivery_past_the_clean_worst_case() {
+        let extra = SimDuration::from_millis(50);
+        let plan = FaultPlan::new().delay_msgs(
+            NodeSel::Cub(0),
+            NodeSel::Cub(1),
+            extra,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let mut n = with_plan(3, topo3(), &plan);
+        let now = SimTime::from_secs(1);
+        let d = n
+            .send_control(now, NetNode(1), NetNode(2), 100)
+            .expect("delayed, not dropped");
+        assert!(d >= now + extra, "delivery {d} must include the extra");
+        assert!(d <= now + n.latency_model().worst_case() + extra);
+        let inj = n.take_fault_injections();
+        assert_eq!(inj.len(), 1);
+        assert_eq!(inj[0].kind, NetInjectionKind::Delayed { extra });
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_twice_in_fifo_order() {
+        let plan = FaultPlan::new().duplicate_msgs(
+            NodeSel::Cub(0),
+            NodeSel::Cub(1),
+            1.0,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let mut n = with_plan(3, topo3(), &plan);
+        let first = n
+            .send_control(SimTime::from_secs(1), NetNode(1), NetNode(2), 100)
+            .expect("delivers");
+        let inj = n.take_fault_injections();
+        assert_eq!(inj.len(), 1);
+        let NetInjectionKind::Duplicated { second_delivery } = inj[0].kind else {
+            panic!("expected a duplicate, got {:?}", inj[0].kind);
+        };
+        assert!(
+            second_delivery > first,
+            "the copy is FIFO-ordered behind the original"
+        );
+        // Only the one message was metered.
+        assert_eq!(n.total_control_msgs(NetNode(1)), 1);
+    }
+
+    #[test]
+    fn data_plane_gets_drops_but_never_duplicates() {
+        let plan = FaultPlan::new()
+            .drop_msgs(
+                NodeSel::Cub(0),
+                NodeSel::Cub(1),
+                1.0,
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+            )
+            .duplicate_msgs(
+                NodeSel::Cub(1),
+                NodeSel::Cub(0),
+                1.0,
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+            );
+        let mut n = with_plan(3, topo3(), &plan);
+        assert!(n
+            .send_data(SimTime::from_secs(1), NetNode(1), NetNode(2))
+            .is_none());
+        // The dup-flagged direction delivers exactly once on the data
+        // plane: duplication is control-plane only.
+        assert!(n
+            .send_data(SimTime::from_secs(1), NetNode(2), NetNode(1))
+            .is_some());
+        let kinds: Vec<_> = n.take_fault_injections().iter().map(|i| i.kind).collect();
+        assert_eq!(kinds, vec![NetInjectionKind::Dropped { partition: false }]);
     }
 }

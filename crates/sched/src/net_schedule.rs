@@ -90,7 +90,7 @@ impl NetworkSchedule {
         assert!(num_cubs > 0 && !bpt.is_zero() && !capacity.is_zero());
         if let Some(q) = quantum {
             assert!(
-                !q.is_zero() && bpt.as_nanos() % q.as_nanos() == 0,
+                !q.is_zero() && bpt.as_nanos().is_multiple_of(q.as_nanos()),
                 "quantum must divide the block play time"
             );
         }
@@ -157,7 +157,7 @@ impl NetworkSchedule {
     /// Validates a start against the quantization grid.
     fn check_alignment(&self, start: SimDuration) -> Result<(), NetScheduleError> {
         if let Some(q) = self.quantum {
-            if start.as_nanos() % q.as_nanos() != 0 {
+            if !start.as_nanos().is_multiple_of(q.as_nanos()) {
                 return Err(NetScheduleError::UnalignedStart);
             }
         }

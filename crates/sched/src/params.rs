@@ -144,20 +144,14 @@ impl ScheduleParams {
         // with rate = block_size / block_play_time.
         let stream_rate_bits =
             block_size.as_bytes() as u128 * 8 * 1_000_000_000 / block_play_time.as_nanos() as u128;
-        let nic_streams_per_cub = if stream_rate_bits == 0 {
-            u128::MAX
-        } else {
-            nic_capacity.bits_per_sec() as u128 * 1000 / stream_rate_bits
-        }; // scaled by 1000 for sub-stream precision
-        let nic_min_service = if nic_streams_per_cub == 0 {
-            SimDuration::MAX
-        } else {
-            // bst_net = bpt * disks_per_cub / streams_per_cub.
-            SimDuration::from_nanos(
-                (block_play_time.as_nanos() as u128 * stripe.disks_per_cub as u128 * 1000
-                    / nic_streams_per_cub) as u64,
-            )
-        };
+        let nic_streams_per_cub = (nic_capacity.bits_per_sec() as u128 * 1000)
+            .checked_div(stream_rate_bits)
+            .unwrap_or(u128::MAX); // scaled by 1000 for sub-stream precision
+                                   // bst_net = bpt * disks_per_cub / streams_per_cub.
+        let nic_min_service =
+            (block_play_time.as_nanos() as u128 * stripe.disks_per_cub as u128 * 1000)
+                .checked_div(nic_streams_per_cub)
+                .map_or(SimDuration::MAX, |ns| SimDuration::from_nanos(ns as u64));
 
         let min_service = disk_worst_read.max(nic_min_service);
         let schedule_len = block_play_time.mul_u64(u64::from(stripe.num_disks()));
@@ -346,7 +340,7 @@ impl ScheduleParams {
         let d = x / bpt;
         let into = x % bpt;
         (into < self.ownership_duration.as_nanos() && d < u64::from(self.stripe.num_disks()))
-            .then(|| DiskId(d as u32))
+            .then_some(DiskId(d as u32))
     }
 
     /// All slots owned via disk `disk` at time `t` (zero or one slot).

@@ -170,6 +170,31 @@ trace_events! {
     CtrlRouteDesched => "ctrl-route-desched" { viewer: u64, inc: u32, slot: u32, target: u32 },
     /// A cub was power-cut by the simulation (fault injection).
     PowerCut => "power-cut" { cub: u32 },
+    /// Fault injection dropped a message on the `src -> dst` link
+    /// (`partition` = a scheduled cut, not a probabilistic loss).
+    NetDrop => "net-drop" { src: u32, dst: u32, partition: bool },
+    /// Fault injection delayed a message by `extra_ns` beyond its sampled
+    /// latency.
+    NetDelay => "net-delay" { src: u32, dst: u32, extra_ns: u64 },
+    /// Fault injection delivered a control message twice.
+    NetDup => "net-dup" { src: u32, dst: u32 },
+    /// Fault injection failed one disk read transiently (the disk stays
+    /// alive; the block is covered by mirror/failover accounting).
+    DiskTransient => "disk-transient" { slot: u32, viewer: u64, inc: u32, disk: u32 },
+    /// Fault injection killed one disk for good — distinct from a cub
+    /// power-cut: the cub keeps running and pinging.
+    DiskDeath => "disk-death" { cub: u32, disk: u32 },
+    /// Fault injection froze a cub: it processes nothing until resume.
+    CubFreeze => "cub-freeze" { cub: u32 },
+    /// A frozen cub resumed and works through its deferred events.
+    CubResume => "cub-resume" { cub: u32 },
+    /// A cub that learned it was declared dead while stalled fenced
+    /// itself off (its streams are already covered by the successor).
+    CubFenced => "cub-fenced" { cub: u32 },
+    /// A windowed fault clause (link/partition/disk window) opened.
+    FaultStart => "fault-start" { clause: u32 },
+    /// A windowed fault clause closed (partitions heal here).
+    FaultEnd => "fault-end" { clause: u32 },
 }
 
 /// One recorded event: global ring sequence number, simulation time, and
@@ -426,6 +451,38 @@ mod tests {
                 },
             ),
             (CTRL, TraceEvent::PowerCut { cub: 1 }),
+            (
+                CTRL,
+                TraceEvent::NetDrop {
+                    src: 1,
+                    dst: 3,
+                    partition: true,
+                },
+            ),
+            (
+                CTRL,
+                TraceEvent::NetDelay {
+                    src: 1,
+                    dst: 0,
+                    extra_ns: 20_000_000,
+                },
+            ),
+            (CTRL, TraceEvent::NetDup { src: 0, dst: 2 }),
+            (
+                2,
+                TraceEvent::DiskTransient {
+                    slot: 4,
+                    viewer: 4,
+                    inc: 0,
+                    disk: 1,
+                },
+            ),
+            (CTRL, TraceEvent::DiskDeath { cub: 2, disk: 1 }),
+            (CTRL, TraceEvent::CubFreeze { cub: 0 }),
+            (CTRL, TraceEvent::CubResume { cub: 0 }),
+            (2, TraceEvent::CubFenced { cub: 2 }),
+            (CTRL, TraceEvent::FaultStart { clause: 0 }),
+            (CTRL, TraceEvent::FaultEnd { clause: 0 }),
         ]
     }
 

@@ -47,6 +47,27 @@ fn cub_label(cub: u32) -> String {
     }
 }
 
+/// Wire names of fault-injection events (plus the pre-existing
+/// `power-cut`), cross-referenced into their own timeline section so
+/// injected faults read inline, above the per-cub protocol reactions.
+const FAULT_EVENTS: &[&str] = &[
+    "power-cut",
+    "net-drop",
+    "net-delay",
+    "net-dup",
+    "disk-transient",
+    "disk-death",
+    "cub-freeze",
+    "cub-resume",
+    "cub-fenced",
+    "fault-start",
+    "fault-end",
+];
+
+fn is_fault(rec: &TraceRecord) -> bool {
+    FAULT_EVENTS.contains(&rec.ev.name())
+}
+
 fn slot_of(rec: &TraceRecord) -> Option<u64> {
     rec.ev
         .fields()
@@ -55,18 +76,23 @@ fn slot_of(rec: &TraceRecord) -> Option<u64> {
         .map(|&(_, v)| v)
 }
 
-/// Renders a full timeline: a header, one section per recording cub
-/// (controller last), then one section per schedule slot touched,
-/// cross-referencing every event that names that slot. Events stay in
-/// `seq` order within every section.
+/// Renders a full timeline: a header, a faults section when the run
+/// injected any (drop/delay/partition/stall markers, chronologically),
+/// one section per recording cub (controller last), then one section per
+/// schedule slot touched, cross-referencing every event that names that
+/// slot. Events stay in `seq` order within every section.
 pub fn render_timeline(records: &[TraceRecord]) -> String {
     let mut out = String::new();
     let mut by_cub: BTreeMap<u32, Vec<&TraceRecord>> = BTreeMap::new();
     let mut by_slot: BTreeMap<u64, Vec<&TraceRecord>> = BTreeMap::new();
+    let mut faults: Vec<&TraceRecord> = Vec::new();
     for rec in records {
         by_cub.entry(rec.cub).or_default().push(rec);
         if let Some(slot) = slot_of(rec) {
             by_slot.entry(slot).or_default().push(rec);
+        }
+        if is_fault(rec) {
+            faults.push(rec);
         }
     }
     let _ = writeln!(
@@ -76,6 +102,12 @@ pub fn render_timeline(records: &[TraceRecord]) -> String {
         by_cub.keys().filter(|&&c| c != CTRL).count(),
         by_slot.len()
     );
+    if !faults.is_empty() {
+        let _ = writeln!(out, "-- faults ({} events) --", faults.len());
+        for rec in &faults {
+            let _ = writeln!(out, "  {} {}", cub_label(rec.cub), event_body(rec));
+        }
+    }
     // BTreeMap order puts CTRL (u32::MAX) last automatically.
     for (&cub, recs) in &by_cub {
         let _ = writeln!(out, "-- {} ({} events) --", cub_label(cub), recs.len());
@@ -219,6 +251,35 @@ mod tests {
         // The controller section comes after the cubs.
         assert!(
             text.find("-- cub1").unwrap() < text.find("-- ctrl").unwrap(),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fault_events_get_their_own_section() {
+        // No faults: no section at all.
+        assert!(!render_timeline(&sample()).contains("-- faults"));
+
+        let mut records = sample();
+        records.push(rec(
+            4,
+            CTRL,
+            TraceEvent::NetDrop {
+                src: 1,
+                dst: 3,
+                partition: true,
+            },
+        ));
+        records.push(rec(5, CTRL, TraceEvent::CubFreeze { cub: 1 }));
+        let text = render_timeline(&records);
+        assert!(text.contains("-- faults (2 events) --"), "{text}");
+        assert!(
+            text.contains("ctrl [4] 0.004s net-drop src=1 dst=3 partition=1"),
+            "{text}"
+        );
+        // The faults section sits between the header and the cub sections.
+        assert!(
+            text.find("-- faults").unwrap() < text.find("-- cub0").unwrap(),
             "{text}"
         );
     }

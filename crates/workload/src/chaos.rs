@@ -1,0 +1,348 @@
+//! Chaos campaigns: a declarative fault plan injected into a loaded
+//! system, with every run checked against the Tiger invariants.
+//!
+//! A chaos run is a pure function of `(TigerConfig, CatalogSpec, load,
+//! FaultPlan)` — fault randomness draws from its own RNG subtree (see
+//! [`tiger_core::TigerSystem::apply_fault_plan`]), so the same plan and
+//! seed reproduce the identical injection sequence, metrics, and trace
+//! at any fleet thread count. The invariants checked:
+//!
+//! 1. **No block double-delivered.** Tiger never retransmits; a client
+//!    assembling the same block twice is a protocol bug. Control-plane
+//!    duplication faults must not leak into the data plane. (Plans that
+//!    force a fencing window — a freeze past the deadman timeout, or a
+//!    partition — are exempt: the bounded hand-off overlap is by design.)
+//! 2. **No live cub declared dead.** Every deadman declaration must be
+//!    justified by a plan-induced stall at least as long as the claimed
+//!    silence (see [`tiger_faults::check_deadman_justified`]). Checked
+//!    only when the plan leaves the ping ring observable (no partitions,
+//!    no probabilistic drops).
+//! 3. **Schedule views stay within `maxVStateLead`** (plus the
+//!    declustered forwarding slack) on every living cub.
+//! 4. **Loss window bounded after a single clean failure**: when the
+//!    plan is exactly one cub crash, the span between the earliest and
+//!    latest lost block must stay within
+//!    [`tiger_faults::loss_window_bound`].
+//!
+//! Violations of the omniscient checker and the NIC/schedule asserts
+//! (`Metrics::violations`) are folded in as well.
+
+use tiger_core::{TigerConfig, TigerSystem};
+use tiger_faults::{
+    check_deadman_justified, loss_window_bound, FaultPlan, ObservedDeclare, ProcessFault, Topology,
+};
+use tiger_sim::{RngTree, SimDuration, SimTime};
+use tiger_trace::TraceEvent;
+
+use crate::catalog::{populate_catalog, CatalogSpec};
+
+/// Configuration of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// System configuration.
+    pub tiger: TigerConfig,
+    /// Content catalog.
+    pub catalog: CatalogSpec,
+    /// Fraction of capacity to load before the faults begin.
+    pub load: f64,
+    /// The fault plan to inject.
+    pub plan: FaultPlan,
+    /// How long to run.
+    pub run_to: SimTime,
+    /// Trace-ring capacity. The trace is always on in a chaos run — it
+    /// is how the deadman invariant observes declarations, and it is the
+    /// artifact dumped when an invariant fails. Enabling it cannot
+    /// change the run (the tracer is a pure observer).
+    pub trace_cap: usize,
+}
+
+impl ChaosConfig {
+    /// A seconds-long run on the small test system.
+    pub fn quick(plan: FaultPlan) -> Self {
+        let mut tiger = TigerConfig::small_test();
+        tiger.disk = tiger.disk.without_blips();
+        tiger.deadman_timeout = SimDuration::from_millis(2_000);
+        ChaosConfig {
+            tiger,
+            catalog: CatalogSpec::sized_for(SimDuration::from_secs(200), 4),
+            load: 0.5,
+            plan,
+            run_to: SimTime::from_secs(90),
+            trace_cap: 65_536,
+        }
+    }
+}
+
+/// What one chaos run observed.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// Streams playing at the end of the run.
+    pub streams: u32,
+    /// Blocks the cubs transmitted.
+    pub blocks_sent: u64,
+    /// Fully-assembled blocks the clients received.
+    pub blocks_received: u64,
+    /// Blocks the clients should have received but did not.
+    pub blocks_missing: u64,
+    /// Fully-assembled blocks delivered more than once (invariant 1).
+    pub dup_blocks: u64,
+    /// Injected transient read errors the disks served.
+    pub transient_errors: u64,
+    /// Deadman declarations, in declaration order.
+    pub declares: Vec<ObservedDeclare>,
+    /// Span between the earliest and latest lost block (0 without loss).
+    pub loss_window_secs: f64,
+    /// Every invariant violation (empty = the run is clean).
+    pub violations: Vec<String>,
+    /// The rendered trace ring (faults inline with protocol reactions).
+    pub trace: String,
+}
+
+/// One line summarizing the deterministic payload of an outcome — the
+/// quantity the chaos sweep prints and the thread-count bit-identity
+/// test compares.
+pub fn chaos_digest(o: &ChaosOutcome) -> String {
+    format!(
+        "streams {}  sent {}  received {}  missing {}  dup {}  transient {}  \
+         declares {}  loss_window {:.3}s  violations {}",
+        o.streams,
+        o.blocks_sent,
+        o.blocks_received,
+        o.blocks_missing,
+        o.dup_blocks,
+        o.transient_errors,
+        o.declares.len(),
+        o.loss_window_secs,
+        o.violations.len(),
+    )
+}
+
+/// Runs one chaos campaign: load the system, apply the plan, run to the
+/// horizon, then check every invariant.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    let mut sys = TigerSystem::new(cfg.tiger.clone());
+    sys.enable_trace(cfg.trace_cap);
+    let files = populate_catalog(&mut sys, &cfg.catalog);
+    let mut chooser = RngTree::new(cfg.tiger.seed).fork("chaos-files", 0);
+    let capacity = sys.shared().params.capacity();
+    let want = ((capacity as f64) * cfg.load).round() as u32;
+    let mut now = SimTime::from_millis(100);
+    for _ in 0..want {
+        let client = sys.add_client();
+        let file = files[chooser.gen_range(0..files.len())];
+        sys.request_start(now, client, file);
+        now += SimDuration::from_millis(150);
+    }
+    sys.apply_fault_plan(&cfg.plan);
+    sys.run_until(cfg.run_to);
+
+    let topo = Topology {
+        num_cubs: cfg.tiger.stripe.num_cubs,
+        num_clients: cfg.tiger.num_clients,
+        backup_controller: cfg.tiger.backup_controller,
+    };
+    let report = sys.all_clients_report();
+    let transient_errors: u64 = sys
+        .cubs()
+        .iter()
+        .flat_map(|c| c.disks())
+        .map(tiger_disk::Disk::total_transient_errors)
+        .sum();
+    let declares: Vec<ObservedDeclare> = sys
+        .tracer()
+        .records()
+        .iter()
+        .filter_map(|rec| match rec.ev {
+            TraceEvent::DeadmanDeclare { failed, silence_ns } => Some(ObservedDeclare {
+                at: rec.at,
+                declarer: rec.cub,
+                failed,
+                silence: SimDuration::from_nanos(silence_ns),
+            }),
+            _ => None,
+        })
+        .collect();
+
+    let mut violations = Vec::new();
+    // Invariant 1: no double delivery. Two sanctioned exceptions, both
+    // fencing windows rather than bugs: a freeze that outlasts the
+    // deadman timeout (the resumed zombie serves a handful of
+    // already-taken-over slots before the fencing reply lands), and a
+    // partition (the healed ring's divergent failure views fence live
+    // cubs the same way).
+    let zombie_window = cfg.plan.process.iter().any(|p| {
+        matches!(p, ProcessFault::Freeze { from, until, .. }
+            if until.saturating_since(*from) > cfg.tiger.deadman_timeout)
+    }) || !cfg.plan.partitions.is_empty();
+    if report.dup_blocks > 0 && !zombie_window {
+        violations.push(format!(
+            "{} blocks were delivered more than once (Tiger never retransmits)",
+            report.dup_blocks
+        ));
+    }
+    // Invariant 2: every declaration justified by a plan-induced stall.
+    // Only checkable when the plan leaves the ping ring observable:
+    // partitions and probabilistic drops silence the ring in ways the
+    // per-cub stall model cannot express (Tiger's deadman assumes the
+    // switched LAN of §5 — after a partition the divergent failure views
+    // legitimately cascade into declarations of live cubs, which the
+    // fencing protocol then resolves by consistency over availability).
+    let ring_observable =
+        cfg.plan.partitions.is_empty() && cfg.plan.links.iter().all(|l| l.drop_prob == 0.0);
+    if ring_observable {
+        // Injected link delay/jitter stretches legitimate ping gaps.
+        let injected_delay = cfg
+            .plan
+            .links
+            .iter()
+            .map(|l| l.extra_delay + l.extra_jitter)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let grace = cfg.tiger.deadman_interval + cfg.tiger.latency.worst_case() + injected_delay;
+        violations.extend(check_deadman_justified(
+            &cfg.plan,
+            topo,
+            &declares,
+            cfg.tiger.deadman_timeout,
+            grace,
+        ));
+    }
+    // Invariant 3: schedule views within the legitimate lead.
+    violations.extend(sys.check_view_lead());
+    // Invariant 4: a single clean crash loses blocks only inside the
+    // detection-plus-takeover window.
+    let loss_window_secs = client_loss_window_secs(&sys, cfg.tiger.block_play_time);
+    if let Some(bound) = single_crash_bound(cfg) {
+        if loss_window_secs > bound.as_secs_f64() {
+            violations.push(format!(
+                "loss window {loss_window_secs:.3}s exceeds the single-failure bound {bound}",
+            ));
+        }
+    }
+    // Omniscient checker + NIC/schedule asserts.
+    violations.extend(sys.take_violations());
+
+    let trace = sys.tracer().dump().unwrap_or_default();
+    ChaosOutcome {
+        streams: sys.controller().active_streams(),
+        blocks_sent: sys.metrics().loss.blocks_sent,
+        blocks_received: report.blocks_received,
+        blocks_missing: report.blocks_missing,
+        dup_blocks: report.dup_blocks,
+        transient_errors,
+        declares,
+        loss_window_secs,
+        violations,
+        trace,
+    }
+}
+
+/// The loss-window bound, when the plan is exactly one cub crash (the
+/// only shape the invariant covers: anything else — partitions, disk
+/// faults, correlated cuts — can legitimately widen the window).
+fn single_crash_bound(cfg: &ChaosConfig) -> Option<SimDuration> {
+    let p = &cfg.plan;
+    if !p.links.is_empty() || !p.partitions.is_empty() || !p.disks.is_empty() {
+        return None;
+    }
+    match p.process.as_slice() {
+        [ProcessFault::Crash { .. }] => Some(loss_window_bound(
+            cfg.tiger.deadman_timeout,
+            cfg.tiger.deadman_interval,
+            cfg.tiger.latency.worst_case(),
+            cfg.tiger.block_play_time,
+        )),
+        _ => None,
+    }
+}
+
+/// The span between the expected arrival times of the earliest and
+/// latest block any client lost (the §5 "inspected the clients' logs"
+/// reconstruction, shared with the reconfiguration experiment).
+fn client_loss_window_secs(sys: &TigerSystem, bpt: SimDuration) -> f64 {
+    let bpt = bpt.as_secs_f64();
+    let mut earliest: Option<f64> = None;
+    let mut latest: Option<f64> = None;
+    for client in sys.clients() {
+        for (_, v) in client.viewers() {
+            let Some(first) = v.first_block_at else {
+                continue;
+            };
+            let first = first.as_secs_f64();
+            let Some(high) = v.high_water else { continue };
+            for b in 0..=high {
+                if !v.block_received(b) {
+                    let expected = first + f64::from(b) * bpt;
+                    earliest = Some(earliest.map_or(expected, |e: f64| e.min(expected)));
+                    latest = Some(latest.map_or(expected, |l: f64| l.max(expected)));
+                }
+            }
+        }
+    }
+    match (earliest, latest) {
+        (Some(e), Some(l)) => l - e,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_faults::NodeSel;
+
+    #[test]
+    fn clean_single_crash_passes_every_invariant() {
+        let plan = FaultPlan::new().crash(1, SimTime::from_secs(30));
+        let out = run_chaos(&ChaosConfig::quick(plan));
+        assert!(out.streams > 0);
+        assert!(!out.declares.is_empty(), "the crash was never detected");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.trace.contains("power-cut"));
+    }
+
+    #[test]
+    fn control_duplication_does_not_double_deliver_blocks() {
+        let plan = FaultPlan::new().duplicate_msgs(
+            NodeSel::Any,
+            NodeSel::Any,
+            0.5,
+            SimTime::ZERO,
+            SimTime::from_secs(90),
+        );
+        let out = run_chaos(&ChaosConfig::quick(plan));
+        assert_eq!(out.dup_blocks, 0, "data plane must never duplicate");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.trace.contains("net-dup"));
+    }
+
+    #[test]
+    fn freeze_past_deadman_fences_the_zombie() {
+        // Frozen well past the 2s deadman timeout: the cub is declared
+        // dead and taken over; when it resumes and pings, the successor
+        // replies with a FailureNotice naming the zombie, which fences
+        // itself. The trace must show the whole arc.
+        let plan = FaultPlan::new().freeze(1, SimTime::from_secs(30), SimTime::from_secs(40));
+        let out = run_chaos(&ChaosConfig::quick(plan));
+        assert!(!out.declares.is_empty(), "the stall was never declared");
+        assert!(out.trace.contains("cub-freeze"));
+        assert!(out.trace.contains("cub-resume"));
+        assert!(out.trace.contains("cub-fenced"), "zombie was not fenced");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn transient_disk_errors_surface_in_outcome_and_trace() {
+        let plan = FaultPlan::new().disk_transient(
+            1,
+            0,
+            1.0,
+            SimTime::from_secs(20),
+            SimTime::from_secs(30),
+        );
+        let out = run_chaos(&ChaosConfig::quick(plan));
+        assert!(out.transient_errors > 0, "no transient errors served");
+        assert!(out.blocks_missing > 0, "errored reads should lose blocks");
+        assert!(out.trace.contains("disk-transient"));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+}

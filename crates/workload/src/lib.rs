@@ -7,6 +7,7 @@
 //! configuration structs.
 
 pub mod catalog;
+pub mod chaos;
 pub mod ramp;
 pub mod reconfig;
 pub mod report;
@@ -14,8 +15,9 @@ pub mod startup;
 pub mod vcr;
 
 pub use catalog::{populate_catalog, CatalogSpec};
+pub use chaos::{chaos_digest, run_chaos, ChaosConfig, ChaosOutcome};
 pub use ramp::{run_ramp, RampConfig, RampResult};
-pub use reconfig::{run_reconfig, ReconfigConfig, ReconfigResult};
+pub use reconfig::{run_reconfig, run_reconfig_with_plan, ReconfigConfig, ReconfigResult};
 pub use report::{format_ramp_table, format_startup_table};
 pub use startup::{run_startup, StartupConfig, StartupResult};
 pub use vcr::{run_vcr, VcrConfig, VcrResult};

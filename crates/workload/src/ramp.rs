@@ -118,7 +118,7 @@ pub fn run_ramp(cfg: &RampConfig) -> RampResult {
             sys.request_start(at, client, file);
         }
         launched += batch;
-        now = now + cfg.settle;
+        now += cfg.settle;
         sys.run_until(now);
         sys.sample_window(now, cfg.report_cub, cfg.disk_report_cub);
     }

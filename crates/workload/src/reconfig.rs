@@ -6,6 +6,7 @@
 //! between the earliest and latest lost block."
 
 use tiger_core::{TigerConfig, TigerSystem};
+use tiger_faults::FaultPlan;
 use tiger_layout::CubId;
 use tiger_sim::{RngTree, SimDuration, SimTime};
 
@@ -62,6 +63,20 @@ pub struct ReconfigResult {
 
 /// Runs the power-cut experiment.
 pub fn run_reconfig(cfg: &ReconfigConfig) -> ReconfigResult {
+    run_reconfig_impl(cfg, None)
+}
+
+/// Runs the power-cut experiment with the failure expressed as a
+/// declarative fault plan instead of the direct `fail_cub_at` call. With
+/// the plan `crash <victim> at=<cut_at>` this is the same experiment —
+/// the equivalence test in `tests/faults.rs` holds the two paths to
+/// identical results, which is what pins the fault subsystem to the §5
+/// measurement.
+pub fn run_reconfig_with_plan(cfg: &ReconfigConfig, plan: &FaultPlan) -> ReconfigResult {
+    run_reconfig_impl(cfg, Some(plan))
+}
+
+fn run_reconfig_impl(cfg: &ReconfigConfig, plan: Option<&FaultPlan>) -> ReconfigResult {
     let mut sys = TigerSystem::new(cfg.tiger.clone());
     let files = populate_catalog(&mut sys, &cfg.catalog);
     let mut chooser = RngTree::new(cfg.tiger.seed).fork("reconfig-files", 0);
@@ -73,10 +88,13 @@ pub fn run_reconfig(cfg: &ReconfigConfig) -> ReconfigResult {
         let client = sys.add_client();
         let file = files[chooser.gen_range(0..files.len())];
         sys.request_start(now, client, file);
-        now = now + SimDuration::from_millis(150);
+        now += SimDuration::from_millis(150);
     }
     assert!(now < cfg.cut_at, "load phase must finish before the cut");
-    sys.fail_cub_at(cfg.cut_at, cfg.victim);
+    match plan {
+        None => sys.fail_cub_at(cfg.cut_at, cfg.victim),
+        Some(p) => sys.apply_fault_plan(p),
+    }
     sys.run_until(cfg.cut_at + cfg.observe);
 
     let streams = sys.controller().active_streams();

@@ -104,7 +104,7 @@ pub fn run_startup(cfg: &StartupConfig) -> StartupResult {
         while filled < want {
             let client = sys.add_client();
             let file = files[chooser.gen_range(0..files.len())];
-            now = now + SimDuration::from_millis(120);
+            now += SimDuration::from_millis(120);
             sys.request_start(now, client, file);
             filled += 1;
         }
@@ -116,7 +116,7 @@ pub fn run_startup(cfg: &StartupConfig) -> StartupResult {
             // so the load level stays put.
             let client = sys.add_client();
             let file = files[chooser.gen_range(0..files.len())];
-            t = t + SimDuration::from_millis(1_500);
+            t += SimDuration::from_millis(1_500);
             let instance = sys.request_start(t, client, file);
             sys.request_stop(t + SimDuration::from_secs(70), instance);
         }

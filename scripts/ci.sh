@@ -27,17 +27,33 @@ else
     echo "== cargo fmt unavailable; skipping format check" >&2
 fi
 
+echo "== cargo clippy --workspace -- -D warnings" >&2
+cargo clippy --workspace -- -D warnings
+
 # Fleet smoke: the parallel experiment fleet must produce bit-identical
 # stdout at 1 and 2 worker threads (the determinism-under-parallelism
 # contract; see EXPERIMENTS.md "The experiment fleet").
 echo "== fleet smoke: quick fig8 ramp at 1 vs 2 threads" >&2
 FLEET_T1="$(mktemp)" FLEET_T2="$(mktemp)" FLEET_TRACED="$(mktemp)" DEMO_OUT="$(mktemp)"
-trap 'rm -f "$FLEET_T1" "$FLEET_T2" "$FLEET_TRACED" "$DEMO_OUT"' EXIT
+CHAOS_T1="$(mktemp)" CHAOS_T2="$(mktemp)"
+trap 'rm -f "$FLEET_T1" "$FLEET_T2" "$FLEET_TRACED" "$DEMO_OUT" "$CHAOS_T1" "$CHAOS_T2"' EXIT
 cargo run --release -q -p tiger-bench --bin fleet -- \
     --scale quick --filter fig8 --threads 1 > "$FLEET_T1" 2>/dev/null
 cargo run --release -q -p tiger-bench --bin fleet -- \
     --scale quick --filter fig8 --threads 2 > "$FLEET_T2" 2>/dev/null
 cmp "$FLEET_T1" "$FLEET_T2"
+
+# Chaos smoke: the fault-injection sweep must pass every Tiger invariant
+# (the bin exits non-zero on any violation) and, like the fleet, produce
+# bit-identical stdout at 1 and 2 worker threads (see docs/FAULTS.md).
+# Fatal — a divergence means fault randomness leaked out of its RNG
+# subtree or an invariant broke.
+echo "== chaos smoke: quick sweep at 1 vs 2 threads" >&2
+cargo run --release -q -p tiger-bench --bin chaos -- \
+    --scale quick --threads 1 > "$CHAOS_T1"
+cargo run --release -q -p tiger-bench --bin chaos -- \
+    --scale quick --threads 2 > "$CHAOS_T2"
+cmp "$CHAOS_T1" "$CHAOS_T2"
 
 # Traced smoke: the tracer is a pure observer, so the same fleet run with
 # tracing switched on must produce bit-identical stdout (see

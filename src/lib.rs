@@ -17,6 +17,7 @@
 //! * [`net`] — switched network model
 //! * [`layout`] — striping, declustered mirroring, block index, restriper
 //! * [`sched`] — schedules, viewer-state records, bounded views
+//! * [`faults`] — deterministic fault plans, injectors, and invariants
 //! * [`core`] — cubs, controller, clients, the distributed protocol
 //! * [`trace`] — ring-buffer protocol event tracing and timeline tooling
 //! * [`workload`] — workload generators and §5 experiment drivers
@@ -41,6 +42,7 @@
 pub use tiger_bench as bench;
 pub use tiger_core as core;
 pub use tiger_disk as disk;
+pub use tiger_faults as faults;
 pub use tiger_layout as layout;
 pub use tiger_net as net;
 pub use tiger_sched as sched;

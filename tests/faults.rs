@@ -1,0 +1,202 @@
+//! Fault-subsystem integration tests: the deadman/stall boundary golden-
+//! tested with and without a concurrent partition, empty-plan
+//! transparency (a plan-free run is byte-identical to one with an empty
+//! plan applied), and the §5 power-cut experiment expressed as a fault
+//! plan reproducing the direct `fail_cub_at` results exactly.
+
+use tiger::core::{Message, TigerConfig, TigerSystem};
+use tiger::faults::{FaultPlan, NodeSel};
+use tiger::layout::CubId;
+use tiger::sim::{Bandwidth, SimDuration, SimTime};
+use tiger::trace::TraceEvent;
+use tiger::workload::{run_reconfig, run_reconfig_with_plan, CatalogSpec, ReconfigConfig};
+
+fn small() -> TigerConfig {
+    let mut cfg = TigerConfig::small_test();
+    cfg.disk = cfg.disk.without_blips();
+    cfg
+}
+
+// --- Deadman/stall boundary (§2.3) ------------------------------------------
+
+/// Drives the monitor cub through a stall of exactly `stall` observed
+/// silence and returns the deadman declarations it recorded. When
+/// `partitioned`, a network partition separating the monitor's half of
+/// the ring is live for the whole window — the declaration boundary must
+/// not move, because the deadman decision is local (the partition can
+/// only affect how the resulting notice propagates, never whether the
+/// silence is judged fatal).
+fn stall_declares(stall: SimDuration, partitioned: bool) -> Vec<(u32, u64)> {
+    let mut sys = TigerSystem::new(small());
+    sys.enable_trace(16_384);
+    if partitioned {
+        let plan = FaultPlan::new().partition(
+            vec![NodeSel::Cub(0), NodeSel::Cub(1)],
+            vec![NodeSel::Cub(2), NodeSel::Cub(3)],
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+        );
+        sys.apply_fault_plan(&plan);
+    }
+    // Cub1 hears its predecessor at t0; the predecessor then stalls for
+    // `stall`, so the deadman check that ends the stall sees silence of
+    // exactly that length.
+    let t0 = SimTime::from_secs(1);
+    sys.with_cub_mut(CubId(1), |cub, sh| {
+        cub.on_message(sh, t0, Message::DeadmanPing { from: CubId(0) });
+        cub.on_deadman_check(sh, t0 + stall);
+    });
+    sys.tracer()
+        .records()
+        .iter()
+        .filter_map(|r| match r.ev {
+            TraceEvent::DeadmanDeclare { failed, silence_ns } => Some((failed, silence_ns)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A cub silent for exactly the deadman timeout is still alive (the
+/// threshold is strictly `silence > timeout`); one nanosecond longer is
+/// dead. Golden on the declared silence, with and without a concurrent
+/// partition.
+#[test]
+fn stall_of_exactly_the_deadman_timeout_is_the_boundary() {
+    let timeout = small().deadman_timeout;
+    let tick = SimDuration::from_nanos(1);
+    for partitioned in [false, true] {
+        assert_eq!(
+            stall_declares(timeout, partitioned),
+            vec![],
+            "silence == timeout must not declare (partitioned: {partitioned})"
+        );
+        assert_eq!(
+            stall_declares(timeout + tick, partitioned),
+            vec![(0, timeout.as_nanos() + 1)],
+            "one tick past the timeout must declare the predecessor \
+             with silence timeout+1ns (partitioned: {partitioned})"
+        );
+    }
+}
+
+/// The same boundary through the event loop and the fault plan: a freeze
+/// short enough that worst-case observed silence (stall + ping interval +
+/// delivery latency) stays under the timeout produces no declaration; a
+/// freeze well past the timeout is declared. Run with and without a
+/// concurrent partition on the far side of the ring.
+#[test]
+fn plan_driven_freeze_respects_the_deadman_boundary() {
+    let run = |freeze: SimDuration, partitioned: bool| {
+        let mut sys = TigerSystem::new(small());
+        sys.enable_trace(32_768);
+        let film = sys.add_file(Bandwidth::from_mbit_per_sec(2), SimDuration::from_secs(30));
+        let c = sys.add_client();
+        sys.request_start(SimTime::from_millis(50), c, film);
+        let mut plan =
+            FaultPlan::new().freeze(1, SimTime::from_secs(5), SimTime::from_secs(5) + freeze);
+        if partitioned {
+            // A partition that never separates cub1 from its monitor:
+            // clients on one side, the whole ring on the other.
+            plan = plan.partition(
+                vec![NodeSel::Client(2), NodeSel::Client(3)],
+                vec![
+                    NodeSel::Cub(0),
+                    NodeSel::Cub(1),
+                    NodeSel::Cub(2),
+                    NodeSel::Cub(3),
+                ],
+                SimTime::from_secs(4),
+                SimTime::from_secs(12),
+            );
+        }
+        sys.apply_fault_plan(&plan);
+        sys.run_until(SimTime::from_secs(15));
+        sys.tracer()
+            .records()
+            .iter()
+            .filter(|r| matches!(r.ev, TraceEvent::DeadmanDeclare { .. }))
+            .count()
+    };
+    let cfg = small();
+    let blip = cfg
+        .deadman_timeout
+        .saturating_sub(cfg.deadman_interval + cfg.latency.worst_case() * 4);
+    for partitioned in [false, true] {
+        assert_eq!(
+            run(blip, partitioned),
+            0,
+            "a sub-timeout blip must pass unnoticed (partitioned: {partitioned})"
+        );
+        assert!(
+            run(cfg.deadman_timeout * 3, partitioned) >= 1,
+            "a stall of 3x the timeout must be declared (partitioned: {partitioned})"
+        );
+    }
+}
+
+// --- Empty-plan transparency -------------------------------------------------
+
+/// Applying an empty fault plan is free: metrics and the full protocol
+/// trace are byte-identical to a run that never touched the fault layer.
+/// This is the integration-level face of the acceptance criterion that
+/// the no-faults hot path stays a single null-pointer test.
+#[test]
+fn empty_plan_leaves_the_run_byte_identical() {
+    let scripted = |with_empty_plan: bool| {
+        let mut sys = TigerSystem::new(small());
+        sys.enable_trace(32_768);
+        let film = sys.add_file(Bandwidth::from_mbit_per_sec(2), SimDuration::from_secs(15));
+        let a = sys.add_client();
+        let b = sys.add_client();
+        let va = sys.request_start(SimTime::from_millis(50), a, film);
+        let _vb = sys.request_start(SimTime::from_millis(450), b, film);
+        if with_empty_plan {
+            let plan = FaultPlan::new();
+            assert!(plan.is_empty());
+            sys.apply_fault_plan(&plan);
+        }
+        sys.request_stop(SimTime::from_secs(5), va);
+        sys.fail_cub_at(SimTime::from_secs(7), CubId(2));
+        sys.run_until(SimTime::from_secs(12));
+        (sys.metrics().clone(), sys.tracer().dump().expect("traced"))
+    };
+    let (plain_metrics, plain_trace) = scripted(false);
+    let (planned_metrics, planned_trace) = scripted(true);
+    assert_eq!(plain_metrics, planned_metrics, "metrics must not move");
+    assert_eq!(plain_trace, planned_trace, "trace must be byte-identical");
+}
+
+// --- §5 equivalence ----------------------------------------------------------
+
+/// The paper's power-cut experiment re-expressed as a declarative fault
+/// plan (`crash c<victim> at=<cut>`) reproduces the direct
+/// `fail_cub_at` run exactly — same loss window, same detection time,
+/// same blocks lost. This pins the fault subsystem to the existing §5
+/// reconfiguration measurement.
+#[test]
+fn crash_plan_reproduces_the_power_cut_experiment() {
+    let mut tiger = small();
+    tiger.deadman_timeout = SimDuration::from_millis(2_000);
+    let cfg = ReconfigConfig {
+        catalog: CatalogSpec::sized_for(SimDuration::from_secs(200), 4),
+        load: 0.5,
+        victim: CubId(1),
+        cut_at: SimTime::from_secs(30),
+        observe: SimDuration::from_secs(60),
+        tiger,
+    };
+    let direct = run_reconfig(&cfg);
+    let text = format!("crash c{} at={}s", cfg.victim.raw(), 30);
+    let plan = FaultPlan::parse(&text).expect("crash plan parses");
+    let planned = run_reconfig_with_plan(&cfg, &plan);
+    assert_eq!(
+        direct, planned,
+        "the two failure paths must be one experiment"
+    );
+    assert!(direct.blocks_lost > 0, "the cut must cost blocks");
+    assert!(
+        direct.loss_window_secs < 10.0,
+        "loss window {} out of the §5 ballpark",
+        direct.loss_window_secs
+    );
+}

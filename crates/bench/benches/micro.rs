@@ -114,6 +114,26 @@ fn bench_view_ops(c: &mut Runner) {
     });
 }
 
+fn bench_rejoin(c: &mut Runner) {
+    // A rejoined cub restarts with an empty schedule view and re-learns
+    // its slots from the hand-back batch its ring neighbors and covering
+    // successor relay — one §4.1.3 ownership insertion per state. This
+    // is the whole CPU cost of a rejoin re-plan: a schedule's worth of
+    // fresh insertions into an empty view.
+    c.bench_function("recovery/rejoin_replan", |b| {
+        let states: Vec<ViewerState> = (0..60u64)
+            .map(|i| vs(((i * 10) % 602) as u32, i, 3))
+            .collect();
+        b.iter(|| {
+            let mut view = ScheduleView::new();
+            for s in &states {
+                black_box(view.apply_viewer_state(*s, SimTime::ZERO));
+            }
+            view.len()
+        })
+    });
+}
+
 fn bench_layout(c: &mut Runner) {
     let cfg = StripeConfig::new(14, 4, 4);
     let placement = MirrorPlacement::new(cfg);
@@ -333,6 +353,7 @@ fn main() {
     let mut c = Runner::from_args();
     bench_slot_math(&mut c);
     bench_view_ops(&mut c);
+    bench_rejoin(&mut c);
     bench_layout(&mut c);
     bench_net_schedule(&mut c);
     bench_event_queue(&mut c);

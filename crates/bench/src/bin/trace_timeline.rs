@@ -22,7 +22,8 @@ use tiger_trace::{parse_dump, render_diff, render_timeline};
 
 const USAGE: &str = "usage: trace_timeline <dump-file>
        trace_timeline --diff <dump-a> <dump-b>
-       trace_timeline --demo";
+       trace_timeline --demo
+       trace_timeline --rejoin-demo";
 
 /// Lines of context shown around the first divergence in `--diff`.
 const DIFF_CONTEXT: usize = 5;
@@ -56,11 +57,39 @@ fn demo() -> String {
     render_timeline(&sys.tracer().records())
 }
 
+/// The deterministic rejoin scenario: a cub loses power mid-stream, is
+/// declared dead and covered by its mirrors, then restarts and re-learns
+/// its slots through the rejoin hand-back. The timeline pins the whole
+/// online-recovery arc — power-cut, deadman declaration, mirror
+/// takeover, cub-restart, hand-back grant, and the first re-accepted
+/// slot (`rejoin-done`) — as a golden
+/// (`results/trace_rejoin_timeline.txt`).
+fn rejoin_demo() -> String {
+    let mut cfg = TigerConfig::small_test();
+    cfg.disk = cfg.disk.without_blips();
+    let mut sys = TigerSystem::new(cfg);
+    sys.enable_trace(32_768);
+    let film = sys.add_file(Bandwidth::from_mbit_per_sec(2), SimDuration::from_secs(30));
+    let clients: Vec<u32> = (0..3).map(|_| sys.add_client()).collect();
+    for (i, &c) in clients.iter().enumerate() {
+        let at = SimTime::from_millis(50 + 400 * i as u64);
+        sys.request_start(at, c, film);
+    }
+    sys.fail_cub_at(SimTime::from_secs(9), CubId(2));
+    sys.restart_cub_at(SimTime::from_secs(16), CubId(2));
+    sys.run_until(SimTime::from_secs(22));
+    render_timeline(&sys.tracer().records())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [flag] if flag == "--demo" => {
             print!("{}", demo());
+            Ok(())
+        }
+        [flag] if flag == "--rejoin-demo" => {
+            print!("{}", rejoin_demo());
             Ok(())
         }
         [flag, a, b] if flag == "--diff" => {

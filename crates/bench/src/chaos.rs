@@ -84,6 +84,50 @@ pub fn scenarios() -> Vec<Scenario> {
             },
             false,
         ),
+        // Crash, then rejoin 10 s later: the restarted cub must re-learn
+        // its slots from the covering successor within the convergence
+        // bound, and the fresh monitoring baseline must keep it from
+        // being re-declared dead.
+        (
+            "crash-rejoin",
+            |t| format!("crash c1 at={t}s\nrestart c1 at={}s", t + 10),
+            false,
+        ),
+        // The covering partner dies 400 ms into its hand-back window —
+        // mid-catch-up. Loss must stay bounded (two covered single
+        // failures), with no block double-served.
+        (
+            "double-fail-catchup",
+            |t| {
+                format!(
+                    "crash c1 at={t}s\nrestart c1 at={r}s\ncrash c2 at={m}ms",
+                    r = t + 10,
+                    m = (t + 10) * 1000 + 400
+                )
+            },
+            false,
+        ),
+        // A fault-free live restripe widening the ring by two spares:
+        // held to the §6.4 duration budget and the byte-level layout
+        // invariants, with streams riding across the cut-over.
+        (
+            "restripe-quiet",
+            |t| format!("restripe at={t}s add=2"),
+            false,
+        ),
+        // A source cub dies with restripe moves in flight and rejoins
+        // 10 s later: the plan parks, resumes, and still cuts over.
+        (
+            "restripe-rejoin",
+            |t| {
+                format!(
+                    "restripe at={t}s add=2\ncrash c1 at={}s\nrestart c1 at={}s",
+                    t + 2,
+                    t + 12
+                )
+            },
+            false,
+        ),
     ]
 }
 
@@ -136,8 +180,10 @@ pub fn chaos_report(scale: Scale, threads: usize) -> ExpReport {
     out.push('\n');
     let _ = writeln!(
         out,
-        "invariants: no double delivery, every deadman declaration justified, \
-         view lead bounded, single-failure loss window bounded. violations: {bad}."
+        "invariants: no double delivery, every deadman declaration justified \
+         (partitioned rings modeled), view lead bounded, single-failure loss \
+         window bounded, rejoin convergence bounded, restripe within the \
+         §6.4 duration budget. violations: {bad}."
     );
     ExpReport {
         name: "chaos",

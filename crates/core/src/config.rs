@@ -86,6 +86,11 @@ pub struct TigerConfig {
     /// How long after the primary controller falls silent the backup
     /// promotes itself.
     pub controller_failover_timeout: SimDuration,
+    /// Spare cubs built but not part of the stripe (§2.2 restriping: "the
+    /// time to restripe a system does not depend on the size of the
+    /// system"). Spares are powered machines with live disks that receive
+    /// moved blocks during a live restripe and join the ring at cut-over.
+    pub spare_cubs: u32,
 }
 
 impl TigerConfig {
@@ -116,6 +121,7 @@ impl TigerConfig {
             admission_limit: None,
             backup_controller: false,
             controller_failover_timeout: SimDuration::from_secs(3),
+            spare_cubs: 0,
         }
     }
 
@@ -141,6 +147,13 @@ impl TigerConfig {
             self.stripe.decluster,
             self.fault_tolerant,
         )
+    }
+
+    /// Total cub machines built: striped members plus spares. Node
+    /// numbering uses this so client and backup-controller node ids never
+    /// shift when spares join the stripe at a restripe cut-over.
+    pub fn total_cubs(&self) -> u32 {
+        self.stripe.num_cubs + self.spare_cubs
     }
 
     /// The (maximum) block size: max bitrate × block play time.

@@ -189,6 +189,22 @@ pub struct Cub {
     msgs_processed: Counter,
     /// Viewer instances for which an EOF notice was already sent.
     eof_sent: HashSet<ViewerInstance>,
+    /// Set while this cub is rejoining after a restart: the restart
+    /// instant, taken (and traced as convergence) on the first primary
+    /// service acceptance of the new life.
+    rejoined_at: Option<SimTime>,
+    /// Open mirror hand-back window: `(rejoiner, until)`. While it is
+    /// open, this cub — the mirror partner that covered the rejoiner's
+    /// disks — relays shadowed records for those disks directly to the
+    /// rejoiner, warming its empty view faster than ring propagation
+    /// alone (receipt idempotence makes the extra copies safe).
+    handback: Option<(CubId, SimTime)>,
+    /// Per-cub "recently rejoined until" horizon. A record addressed to a
+    /// rejoiner but held by its old covering partner dies if that partner
+    /// crashes before the rejoiner re-acquires the stream; within this
+    /// horizon a failure takeover also re-sends shadows addressed to the
+    /// rejoiner straight to it (idempotent, so over-sending is safe).
+    rejoin_until: Vec<SimTime>,
 }
 
 impl Cub {
@@ -224,6 +240,9 @@ impl Cub {
             retired_log: Vec::new(),
             msgs_processed: Counter::new(),
             eof_sent: HashSet::default(),
+            rejoined_at: None,
+            handback: None,
+            rejoin_until: vec![SimTime::ZERO; num_cubs as usize],
         }
     }
 
@@ -394,9 +413,108 @@ impl Cub {
             Message::FailureNotice { failed } => {
                 self.on_failure_notice(sh, now, failed);
             }
+            Message::RejoinRequest { from } => {
+                self.on_rejoin_request(sh, now, from);
+            }
+            Message::RejoinAck { from, failed } => {
+                // A ring neighbour's bounded-view exchange: merge its
+                // failure beliefs (this cub restarted knowing nothing).
+                self.last_heard[from.index()] = now;
+                for &c in failed.iter() {
+                    if c != self.id.raw() {
+                        self.declare_failed(sh, now, CubId(c));
+                    }
+                }
+            }
             _ => {
                 debug_assert!(false, "cub received unexpected message: {msg:?}");
             }
+        }
+    }
+
+    /// A crashed neighbour announces it is back (§4 ownership insertion
+    /// restores its slots; this message restores the ring bookkeeping).
+    fn on_rejoin_request(&mut self, sh: &mut Shared, now: SimTime, from: CubId) {
+        if from == self.id {
+            return;
+        }
+        let was_covering = self.believed_failed[from.index()] && self.acting_successor_of(from);
+        self.believed_failed[from.index()] = false;
+        self.last_heard[from.index()] = now;
+        // Vulnerability horizon: until the rejoiner has re-acquired every
+        // stream (one schedule lead) and any covering partner's death
+        // would be detected, remember that it just rejoined.
+        self.rejoin_until[from.index()] = now
+            + sh.cfg.min_vstate_lead
+            + sh.cfg.deadman_timeout
+            + sh.cfg.deadman_interval.mul_u64(2);
+        // The ring just changed back: re-baseline predecessor monitoring
+        // exactly as a failure declaration does.
+        self.reset_pred_baseline(now);
+        // Ring neighbours reply with their current beliefs so the
+        // rejoiner learns about other failures without waiting a full
+        // deadman timeout per dead cub.
+        if self.next_living(from) == Some(self.id) || self.prev_living(from) == Some(self.id) {
+            let failed: Vec<u32> = (0..self.believed_failed.len() as u32)
+                .filter(|&c| self.believed_failed[c as usize])
+                .collect();
+            let me = sh.cub_node(self.id);
+            sh.send_control(
+                now,
+                me,
+                sh.cub_node(from),
+                Message::RejoinAck {
+                    from: self.id,
+                    failed: failed.into(),
+                },
+            );
+        }
+        if was_covering {
+            self.grant_handback(sh, now, from);
+        }
+    }
+
+    /// Mirror catch-up (the covering partner's half of a rejoin): hand the
+    /// rejoiner every shadowed record for its disks whose block this cub
+    /// has *not* already driven to the mirrors — those blocks' pieces are
+    /// in flight and a primary re-send would serve the slot twice. A
+    /// bounded window then keeps relaying freshly shadowed records until
+    /// the rejoiner's own lead pipeline is warm (one minVStateLead).
+    fn grant_handback(&mut self, sh: &mut Shared, now: SimTime, to: CubId) {
+        let grant: Vec<ViewerState> = self
+            .shadows
+            .values()
+            .filter(|s| {
+                // Only fresh records (send time still ahead): a stale
+                // pre-failure shadow carries an old position, and replaying
+                // it into the rejoiner's empty view would re-serve a block
+                // the mirrors already delivered.
+                s.due > now
+                    && sh
+                        .catalog
+                        .locate(s.vs.file, s.vs.position)
+                        .is_some_and(|loc| loc.cub == to)
+                    && !self.mirrors_created.contains(&(
+                        s.vs.slot,
+                        s.vs.instance,
+                        s.vs.position.raw(),
+                    ))
+            })
+            .map(|s| s.vs)
+            .collect();
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::RejoinGrant {
+                to: to.raw(),
+                count: grant.len() as u32,
+            },
+        );
+        self.handback = Some((to, now + sh.cfg.min_vstate_lead));
+        if !grant.is_empty() {
+            let me = sh.cub_node(self.id);
+            let batch: std::sync::Arc<[ViewerState]> = grant.into();
+            sh.send_control(now, me, sh.cub_node(to), Message::ViewerStates(batch));
         }
     }
 
@@ -476,6 +594,17 @@ impl Cub {
                 .or_insert(Shadow { vs, due });
             if vs.play_seq >= entry.vs.play_seq {
                 *entry = Shadow { vs, due };
+            }
+            // Open hand-back window: relay records for the rejoiner's
+            // disks straight to it while its own lead pipeline warms up
+            // (receipt idempotence makes the extra copy safe).
+            if let Some((hb, until)) = self.handback {
+                if now >= until {
+                    self.handback = None;
+                } else if loc.cub == hb {
+                    let me = sh.cub_node(self.id);
+                    sh.send_control(now, me, sh.cub_node(hb), Message::ViewerState(vs));
+                }
             }
         }
     }
@@ -574,6 +703,12 @@ impl Cub {
                 position: u64::from(vs.position.raw()),
             },
         );
+        if self.rejoined_at.take().is_some() {
+            // First primary acceptance of this cub's new life: the rejoin
+            // has converged (the ring is feeding it schedule state again).
+            sh.tracer
+                .record(now, me, TraceEvent::RejoinDone { cub: me });
+        }
         let meta = sh.catalog.get(vs.file).copied().expect("file known");
         let token = self.alloc_token();
         self.active.insert(
@@ -1628,6 +1763,20 @@ impl Cub {
         }
     }
 
+    /// Re-baselines deadman monitoring of the current predecessor after a
+    /// ring-membership change (a failure declaration *or* a rejoin): the
+    /// new predecessor redirects its pings here only once it learns of the
+    /// change too. Measure its silence from this instant — otherwise a
+    /// takeover instantly declares a never-heard-from predecessor with an
+    /// epoch-sized silence claim.
+    fn reset_pred_baseline(&mut self, now: SimTime) {
+        if let Some(p) = self.prev_living(self.id) {
+            if p != self.id {
+                self.last_heard[p.index()] = self.last_heard[p.index()].max(now);
+            }
+        }
+    }
+
     fn on_failure_notice(&mut self, sh: &mut Shared, now: SimTime, failed: CubId) {
         if failed == self.id {
             // The ring declared this cub dead while it was stalled, and
@@ -1659,16 +1808,7 @@ impl Cub {
             },
         );
         self.believed_failed[failed.index()] = true;
-        // Monitoring baseline: the ring just changed, and the new
-        // predecessor redirects its pings here only once it learns of the
-        // failure too. Measure its silence from this instant — otherwise
-        // a takeover instantly declares a never-heard-from predecessor
-        // with an epoch-sized silence claim.
-        if let Some(p) = self.prev_living(self.id) {
-            if p != self.id {
-                self.last_heard[p.index()] = self.last_heard[p.index()].max(now);
-            }
-        }
+        self.reset_pred_baseline(now);
         // §2.3 gap bridging: "If two or more consecutive cubs are failed,
         // the preceding living cub will send scheduling information to the
         // succeeding living cub." Re-send the advanced copy of every
@@ -1807,6 +1947,61 @@ impl Cub {
             self.shadows.remove(&(vs.slot, vs.instance));
             self.on_primary_state(sh, now, vs);
         }
+        // Double failure during catch-up: the dead cub may have been the
+        // covering partner of a cub that just rejoined, holding records
+        // addressed to the rejoiner that the rejoiner (down at forward
+        // time) never saw. Our shadow is then the only surviving copy —
+        // re-send it to the rejoiner. Receipt idempotence dedups the
+        // common case where the rejoiner did get the record.
+        let to_rejoiner: Vec<(ViewerState, SimTime)> = self
+            .shadows
+            .values()
+            .filter(|s| {
+                sh.catalog
+                    .locate(s.vs.file, s.vs.position)
+                    .is_some_and(|loc| {
+                        loc.cub != self.id
+                            && !self.believed_failed[loc.cub.index()]
+                            && now < self.rejoin_until[loc.cub.index()]
+                    })
+            })
+            .map(|s| (s.vs, s.due))
+            .collect();
+        // The shadow's position is usually stale (its send time passed
+        // while the record sat unrevived), so re-sending it verbatim would
+        // either be discarded as a late arrival or replay a block the
+        // mirrors already delivered. The shadow's recorded due time says
+        // exactly how far behind it is: advance to the first position
+        // whose nominal send time is still ahead and hand the record to
+        // that position's owner — the same skip-to-reachable move the
+        // §2.3 gap bridge makes, with the skipped blocks as bounded loss.
+        let bpt = sh.params.block_play_time();
+        let ring = self.believed_failed.len() as u32;
+        let me = sh.cub_node(self.id);
+        for (vs, due) in to_rejoiner {
+            let behind = now.saturating_since(due);
+            let mut k = if behind == SimDuration::ZERO {
+                0
+            } else {
+                (behind.as_nanos() / bpt.as_nanos()) as u32 + 1
+            };
+            for _ in 0..ring {
+                let cand = vs.advanced(k);
+                let Some(loc) = sh.catalog.locate(cand.file, cand.position) else {
+                    break; // Past end-of-file: the stream was finishing.
+                };
+                if self.believed_failed[loc.cub.index()] {
+                    k += 1; // Owner still dead: its block is lost; skip on.
+                    continue;
+                }
+                if loc.cub == self.id {
+                    self.on_primary_state(sh, now, cand);
+                } else {
+                    sh.send_control(now, me, sh.cub_node(loc.cub), Message::ViewerState(cand));
+                }
+                break;
+            }
+        }
     }
 
     /// Power-cut: the cub stops doing anything; its disks die with it.
@@ -1823,6 +2018,122 @@ impl Cub {
         self.redundant_starts.clear();
         self.retired_log.clear();
         self.buffer_bytes_in_use = 0;
+    }
+
+    // --- Online recovery ----------------------------------------------------
+
+    /// Restarts a power-cut/fenced cub with empty schedule state. The disk
+    /// contents (index, space maps) survive the crash — only the in-memory
+    /// schedule is gone, which is the paper's point: "a cub can be
+    /// rebooted... and rejoin" because the bounded view rebuilds from the
+    /// ring. Everything protocol-visible is reset; the rejoin protocol
+    /// (see `on_rejoin_request`) re-learns ring state from neighbours.
+    pub fn restart(&mut self, now: SimTime, striped_cubs: u32) {
+        self.failed = false;
+        for d in &mut self.disks {
+            d.revive(now);
+        }
+        self.active.clear();
+        self.by_key.clear();
+        self.view = ScheduleView::new();
+        self.shadows.clear();
+        self.start_queue.clear();
+        self.redundant_starts.clear();
+        self.retired_log.clear();
+        self.mirrors_created.clear();
+        self.cache_resident.clear();
+        self.buffer_bytes_in_use = 0;
+        self.attempt_scheduled = false;
+        self.handback = None;
+        // A restarted process knows nothing about who is down; it assumes
+        // the full striped ring is alive (spares stay marked failed — they
+        // are not ring members) and learns real failures from RejoinAcks.
+        for (i, b) in self.believed_failed.iter_mut().enumerate() {
+            *b = i as u32 >= striped_cubs;
+        }
+        for t in &mut self.last_heard {
+            *t = now;
+        }
+        for t in &mut self.rejoin_until {
+            *t = SimTime::ZERO;
+        }
+        self.rejoined_at = Some(now);
+    }
+
+    // --- Live-restripe cut-over support -------------------------------------
+
+    /// Read access to the block index (the restriper's layout digest).
+    pub(crate) fn index(&self) -> &BlockIndex {
+        &self.index
+    }
+
+    /// Removes the primary index entry for a block that migrated to another
+    /// disk during a live restripe. The extent's space is not reclaimed
+    /// (the space map is append-only, like the real system's restriper
+    /// which reformats disks offline); only the lookup must stop answering.
+    pub(crate) fn remove_primary_entry(&mut self, disk: DiskId, file: FileId, block: BlockNum) {
+        self.index.remove_primary(disk, file, block);
+    }
+
+    /// Drops every mirror extent and resets the secondary space maps: the
+    /// cut-over re-derives mirror placement wholesale for the new stripe.
+    pub(crate) fn clear_secondary_layout(&mut self) {
+        self.index.clear_all_secondary();
+        for s in &mut self.space {
+            s.clear_secondary();
+        }
+    }
+
+    /// Marks `cub` believed-failed without the declaration side effects
+    /// (construction-time marking of spare cubs, which are not ring
+    /// members until a restripe cut-over activates them).
+    pub(crate) fn mark_believed_failed(&mut self, cub: CubId) {
+        self.believed_failed[cub.index()] = true;
+    }
+
+    /// Installs the restriper's post-cut-over ring map: belief vectors grow
+    /// to the new ring size and every member's liveness is set from ground
+    /// truth (the cut-over barrier is the one moment the restriper knows
+    /// it). Deadman baselines restart from this instant.
+    pub(crate) fn set_ring_state(&mut self, failed: &[bool], now: SimTime) {
+        self.believed_failed = failed.to_vec();
+        self.last_heard = vec![now; failed.len()];
+        self.rejoin_until = vec![SimTime::ZERO; failed.len()];
+    }
+
+    /// The schedule half of a live-restripe cut-over: kill every service
+    /// that has not yet gone out (its record carries old-geometry slot
+    /// assignments), let in-flight transmissions finish, and prevent any
+    /// old-incarnation record from propagating by marking everything
+    /// forwarded and fencing the old instances with deschedules.
+    pub(crate) fn cutover_reset(
+        &mut self,
+        now: SimTime,
+        fences: &[Deschedule],
+        hold_until: SimTime,
+    ) {
+        let tokens: Vec<ServiceToken> = self.active.keys().copied().collect();
+        for token in tokens {
+            let entry = self.active.get_mut(&token).expect("token just listed");
+            if !entry.sent {
+                entry.dropped = true;
+            }
+            entry.forwarded = true;
+            if entry.finished() {
+                self.reclaim(now, token);
+            }
+        }
+        self.view = ScheduleView::new();
+        for &d in fences {
+            self.view.apply_deschedule(d, now, hold_until);
+        }
+        self.shadows.clear();
+        self.start_queue.clear();
+        self.redundant_starts.clear();
+        self.retired_log.clear();
+        self.mirrors_created.clear();
+        self.eof_sent.clear();
+        self.handback = None;
     }
 }
 

@@ -93,6 +93,29 @@ pub enum Event {
     },
     /// Fault injection: power-cut the (primary) controller.
     FailController,
+    /// Recovery: restart a crashed/fenced/power-cut cub with empty schedule
+    /// state; it re-learns its slots via the rejoin protocol.
+    RestartCub {
+        /// The cub to restart.
+        cub: CubId,
+    },
+    /// Live restripe: begin executing the planned block moves in the
+    /// background of the stream schedule.
+    RestripeStart,
+    /// Live restripe: periodic pump — issue eligible background reads,
+    /// retry stalled transfers, cut over when every move has landed.
+    RestripeTick,
+    /// Live restripe: a background read of move `idx` completed on its
+    /// source disk; the block now transfers over the network.
+    RestripeRead {
+        /// Index into the restripe plan's move list.
+        idx: u32,
+    },
+    /// Live restripe: move `idx` arrived at its destination cub.
+    RestripeArrive {
+        /// Index into the restripe plan's move list.
+        idx: u32,
+    },
     /// The backup controller's silence timer fired: promote it.
     PromoteBackup,
     /// Workload: a client issues a start request for a file.

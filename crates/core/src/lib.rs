@@ -42,6 +42,7 @@ pub mod mbr;
 pub mod mbr_dist;
 pub mod metrics;
 pub mod msg;
+pub mod restripe;
 pub mod system;
 
 pub use central::{central_control_send_rate, CentralSystem};
@@ -54,4 +55,5 @@ pub use mbr::{MbrConfig, MbrCoordinator, MbrOutcome};
 pub use mbr_dist::{MbrDistStats, MbrSystem};
 pub use metrics::{LossReport, Metrics, WindowSample};
 pub use msg::Message;
+pub use restripe::LiveRestripe;
 pub use system::TigerSystem;

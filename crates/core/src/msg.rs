@@ -97,6 +97,24 @@ pub enum Message {
         /// The sender.
         from: CubId,
     },
+    /// A restarted cub announces it is back: receivers clear their failure
+    /// belief about it and re-baseline their deadman clocks; its ring
+    /// neighbours answer with [`Message::RejoinAck`], and the mirror
+    /// partner covering its disks opens a bounded hand-back window.
+    RejoinRequest {
+        /// The rejoining cub.
+        from: CubId,
+    },
+    /// A ring neighbour's reply to [`Message::RejoinRequest`]: the
+    /// neighbour's current failure beliefs, so the rejoiner (which restarts
+    /// with an empty belief table) learns which cubs are down without
+    /// waiting a full deadman timeout per failure.
+    RejoinAck {
+        /// The replying neighbour.
+        from: CubId,
+        /// Raw ids of cubs the neighbour currently believes failed.
+        failed: Arc<[u32]>,
+    },
     /// A cub announces that it has declared `failed` dead.
     FailureNotice {
         /// The failed cub.
@@ -151,6 +169,8 @@ impl Message {
             Message::StopRequest { .. } => FRAME_BYTES + 20,
             Message::ViewerFinished { .. } => FRAME_BYTES + 20,
             Message::DeadmanPing { .. } => FRAME_BYTES + 8,
+            Message::RejoinRequest { .. } => FRAME_BYTES + 8,
+            Message::RejoinAck { failed, .. } => FRAME_BYTES + 8 + 4 * failed.len() as u64,
             Message::FailureNotice { .. } => FRAME_BYTES + 8,
             Message::StreamData { .. } => 0,
             Message::MbrReserve { .. } => FRAME_BYTES + 40,

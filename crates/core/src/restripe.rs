@@ -1,0 +1,237 @@
+//! Live restriping: executing a [`RestripePlan`] incrementally inside the
+//! event loop, as background disk and network work behind the stream
+//! schedule (§2.2: "the time to restripe a system does not depend on the
+//! size of the system" — per-disk move volume, not system size, bounds it;
+//! §6.4 gives the bandwidth estimate the chaos invariants check against).
+//!
+//! Each block move runs a three-stage pipeline: a paced background read on
+//! its source disk, a network transfer to the destination machine, and an
+//! index/space commit on the destination disk. Background reads are
+//! admission-gated — a source disk is touched only when it is idle (no
+//! foreground stream read outstanding) and its pacing rest has elapsed, so
+//! the restripe steals only slack bandwidth. Moves whose source or
+//! destination is down simply re-queue: a crash mid-restripe leaves a
+//! resumable plan, and a later [`crate::event::Event::RestartCub`] revives
+//! the disks and lets the pump pick the moves back up.
+
+use std::collections::VecDeque;
+
+use tiger_disk::{DiskError, DiskRequest, RequestKind};
+use tiger_layout::{DiskId, RestripePlan};
+use tiger_sim::{SimDuration, SimTime};
+use tiger_trace::{TraceEvent, CTRL};
+
+use crate::cub::Cub;
+use crate::event::Event;
+use crate::system::Shared;
+
+/// Retry delay after a transient read error on a source disk.
+const TRANSIENT_RETRY: SimDuration = SimDuration::from_millis(100);
+
+/// Where one block move is in its pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MoveState {
+    /// Waiting for its source disk to be idle and eligible.
+    Queued,
+    /// Background read outstanding on the source disk.
+    Reading,
+    /// In flight on the network toward the destination machine.
+    Transferring,
+    /// Committed into the destination disk's index and space map.
+    Arrived,
+}
+
+/// An in-progress live restripe: the plan plus per-move pipeline state.
+#[derive(Debug)]
+pub struct LiveRestripe {
+    plan: RestripePlan,
+    state: Vec<MoveState>,
+    /// Moves not yet [`MoveState::Arrived`].
+    pending: usize,
+    /// Per-source-disk FIFO of queued move indices (old-geometry disk ids).
+    disk_queue: Vec<VecDeque<u32>>,
+    /// Earliest next background issue per source disk: each read is
+    /// followed by a rest at least as long as the read itself took, so
+    /// background work never claims more than half a disk's head time.
+    next_eligible: Vec<SimTime>,
+    /// A stall was already traced for the current starvation episode.
+    stalled: bool,
+}
+
+impl LiveRestripe {
+    /// Sets up the pipeline over `plan`'s moves.
+    pub(crate) fn new(plan: RestripePlan, now: SimTime) -> Self {
+        let old = plan.old_config();
+        let num_disks = (old.num_cubs * old.disks_per_cub) as usize;
+        let mut disk_queue = vec![VecDeque::new(); num_disks];
+        for (i, mv) in plan.moves().iter().enumerate() {
+            disk_queue[mv.from.index()].push_back(i as u32);
+        }
+        let pending = plan.moves().len();
+        LiveRestripe {
+            state: vec![MoveState::Queued; pending],
+            pending,
+            disk_queue,
+            next_eligible: vec![now; num_disks],
+            stalled: false,
+            plan,
+        }
+    }
+
+    /// Moves not yet landed; the cut-over runs when this reaches zero.
+    /// (The §6.4 duration invariant measures elapsed time between the
+    /// `RestripeStart` and `RestripeCutover` trace events.)
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Surrenders the plan at cut-over.
+    pub(crate) fn into_plan(self) -> RestripePlan {
+        self.plan
+    }
+
+    /// The periodic pump: issue one background read per idle, eligible
+    /// source disk. Disks whose machine or drive is down are skipped —
+    /// their moves wait for a restart.
+    pub(crate) fn pump(&mut self, sh: &mut Shared, cubs: &mut [Cub], now: SimTime) {
+        let old = self.plan.old_config();
+        let mut issued = false;
+        // A disk held back only by pacing (or a busy head) is idle time the
+        // admission gate bought, not a stall.
+        let mut pacing_wait = false;
+        for d in 0..self.disk_queue.len() {
+            if self.disk_queue[d].is_empty() {
+                continue;
+            }
+            let disk_id = DiskId(d as u32);
+            let src_cub = old.cub_of(disk_id);
+            let local = old.local_index_of(disk_id) as usize;
+            let cub = &mut cubs[src_cub.index()];
+            if cub.failed || cub.disks()[local].is_failed() {
+                continue;
+            }
+            if cub.disks()[local].outstanding() > 0 || now < self.next_eligible[d] {
+                pacing_wait = true;
+                continue;
+            }
+            let idx = *self.disk_queue[d].front().expect("queue non-empty");
+            let mv = self.plan.moves()[idx as usize];
+            let Some(extent) = cub.index().lookup_primary(mv.from, mv.file, mv.block) else {
+                // Unreachable: source entries are only removed at cut-over.
+                debug_assert!(false, "restripe source extent vanished");
+                self.disk_queue[d].pop_front();
+                continue;
+            };
+            let req = DiskRequest {
+                offset: extent.offset(),
+                len: extent.length(),
+                // Background class: restripe reads ride the mirror lane so
+                // foreground primary-stream accounting stays clean.
+                kind: RequestKind::Mirror,
+            };
+            match cub.disks_mut()[local].submit(now, req) {
+                Ok(done) => {
+                    self.disk_queue[d].pop_front();
+                    self.state[idx as usize] = MoveState::Reading;
+                    // Pacing: rest at least as long as the read ran.
+                    self.next_eligible[d] = done + done.saturating_since(now);
+                    sh.queue.schedule(done, Event::RestripeRead { idx });
+                    issued = true;
+                }
+                Err(DiskError::Transient) => {
+                    self.next_eligible[d] = now + TRANSIENT_RETRY;
+                    pacing_wait = true;
+                }
+                Err(_) => {} // Disk died under us; wait for a restart.
+            }
+        }
+        let in_flight = self
+            .state
+            .iter()
+            .any(|s| matches!(s, MoveState::Reading | MoveState::Transferring));
+        if issued || in_flight || pacing_wait {
+            self.stalled = false;
+        } else if self.pending > 0 && !self.stalled {
+            // Every remaining move's source is down: the plan is parked
+            // until a restart revives a source disk. Trace it once per
+            // episode so timelines show the starvation window.
+            self.stalled = true;
+            sh.tracer.record(
+                now,
+                CTRL,
+                TraceEvent::RestripeStall {
+                    pending: self.pending as u32,
+                },
+            );
+        }
+    }
+
+    /// A background read finished on its source disk: hand the block to
+    /// the network.
+    pub(crate) fn on_read_done(
+        &mut self,
+        sh: &mut Shared,
+        cubs: &mut [Cub],
+        now: SimTime,
+        idx: u32,
+    ) {
+        if self.state[idx as usize] != MoveState::Reading {
+            return;
+        }
+        let mv = self.plan.moves()[idx as usize];
+        let old = self.plan.old_config();
+        let new = self.plan.new_config();
+        let src_cub = old.cub_of(mv.from);
+        let local = old.local_index_of(mv.from) as usize;
+        let cub = &mut cubs[src_cub.index()];
+        if cub.failed || cub.disks()[local].is_failed() {
+            // The machine (or drive) died with the read in flight: the
+            // data never surfaced. Re-queue for after a restart. (A failed
+            // disk already zeroed its outstanding count.)
+            self.requeue(mv.from, idx);
+            return;
+        }
+        cub.disks_mut()[local].complete(now);
+        let dst_cub = new.cub_of(mv.to);
+        let src_node = sh.cub_node(src_cub);
+        let dst_node = sh.cub_node(dst_cub);
+        let at = sh.net.send_data(now, src_node, dst_node);
+        sh.trace_net_injections(now);
+        match at {
+            Some(at) => {
+                self.state[idx as usize] = MoveState::Transferring;
+                sh.queue.schedule(at, Event::RestripeArrive { idx });
+            }
+            // Dropped or the destination is down: the read is repeated.
+            None => self.requeue(mv.from, idx),
+        }
+    }
+
+    /// A block landed on its destination machine: commit it into the new
+    /// disk's space map and index.
+    pub(crate) fn on_arrive(&mut self, cubs: &mut [Cub], idx: u32) {
+        if self.state[idx as usize] != MoveState::Transferring {
+            return;
+        }
+        let mv = self.plan.moves()[idx as usize];
+        let new = self.plan.new_config();
+        let dst_cub = new.cub_of(mv.to);
+        let local = new.local_index_of(mv.to);
+        let cub = &mut cubs[dst_cub.index()];
+        if cub.disks()[local as usize].is_failed() {
+            // Destination drive died while the block was in flight.
+            self.requeue(mv.from, idx);
+            return;
+        }
+        // Spare destinations are marked `failed` until cut-over (they are
+        // not ring members), but their disks are powered and commit fine.
+        cub.load_primary(mv.to, local, mv.file, mv.block, mv.size);
+        self.state[idx as usize] = MoveState::Arrived;
+        self.pending -= 1;
+    }
+
+    fn requeue(&mut self, from: DiskId, idx: u32) {
+        self.state[idx as usize] = MoveState::Queued;
+        self.disk_queue[from.index()].push_back(idx);
+    }
+}

@@ -62,11 +62,13 @@ impl Shared {
     }
 
     /// The backup controller's network node, if one is configured. It
-    /// sits past the clients in the node numbering.
+    /// sits past the clients in the node numbering. Node numbering counts
+    /// *total* cub machines (striped plus spare) so nothing shifts when
+    /// spares join the stripe at a restripe cut-over.
     pub fn backup_controller_node(&self) -> Option<NetNode> {
         self.cfg
             .backup_controller
-            .then(|| NetNode(1 + self.cfg.stripe.num_cubs + self.cfg.num_clients))
+            .then(|| NetNode(1 + self.cfg.total_cubs() + self.cfg.num_clients))
     }
 
     /// Sends a controller-bound notice to the primary and, when a backup
@@ -86,7 +88,7 @@ impl Shared {
 
     /// The network node of client machine `client` (0-based).
     pub fn client_node(&self, client: u32) -> NetNode {
-        NetNode(1 + self.cfg.stripe.num_cubs + client)
+        NetNode(1 + self.cfg.total_cubs() + client)
     }
 
     /// Sends a control message and schedules its delivery event.
@@ -114,8 +116,8 @@ impl Shared {
     /// Trace cub id for a fault event on network node `node`: cubs record
     /// on their own lane, everything else (controllers, clients) on CTRL.
     fn fault_lane(&self, node: u32) -> u32 {
-        let num_cubs = self.cfg.stripe.num_cubs;
-        if node >= 1 && node <= num_cubs {
+        let cubs = self.cfg.total_cubs();
+        if node >= 1 && node <= cubs {
             node - 1
         } else {
             CTRL
@@ -181,6 +183,10 @@ pub struct TigerSystem {
     /// When each cub's next *periodic* forward pass is due (extra one-shot
     /// passes triggered by fresh inserts do not reschedule).
     periodic_forward_due: Vec<SimTime>,
+    /// An in-progress live restripe, if one is executing.
+    restripe: Option<crate::restripe::LiveRestripe>,
+    /// How many spare cubs the next [`Event::RestripeStart`] absorbs.
+    restripe_add: Option<u32>,
 }
 
 impl TigerSystem {
@@ -208,10 +214,11 @@ impl TigerSystem {
             BitrateMode::Single,
         );
         let rng = RngTree::new(cfg.seed);
-        let nodes = 1 + cfg.stripe.num_cubs + cfg.num_clients + u32::from(cfg.backup_controller);
+        let total_cubs = cfg.total_cubs();
+        let nodes = 1 + total_cubs + cfg.num_clients + u32::from(cfg.backup_controller);
         let net = Network::new(nodes, cfg.nic_capacity, cfg.latency, rng.fork("net", 0));
-        let mut cubs = Vec::with_capacity(cfg.stripe.num_cubs as usize);
-        for c in 0..cfg.stripe.num_cubs {
+        let mut cubs = Vec::with_capacity(total_cubs as usize);
+        for c in 0..total_cubs {
             let disks: Vec<Disk> = (0..cfg.stripe.disks_per_cub)
                 .map(|l| {
                     Disk::new(
@@ -220,11 +227,25 @@ impl TigerSystem {
                     )
                 })
                 .collect();
-            cubs.push(Cub::new(CubId(c), cfg.stripe.num_cubs, disks));
+            let mut cub = Cub::new(CubId(c), total_cubs, disks);
+            // Spares are powered machines with live disks (they receive
+            // moved blocks during a live restripe) but not ring members:
+            // they run no protocol work until the cut-over activates them,
+            // and every ring member starts out believing them failed.
+            if c >= cfg.stripe.num_cubs {
+                cub.failed = true;
+            }
+            cubs.push(cub);
+        }
+        for cub in &mut cubs {
+            for s in cfg.stripe.num_cubs..total_cubs {
+                cub.mark_believed_failed(CubId(s));
+            }
         }
         let clients = (0..cfg.num_clients).map(|_| Client::new()).collect();
         let placement = MirrorPlacement::new(cfg.stripe);
-        let num_cubs = cfg.stripe.num_cubs;
+        let num_cubs = total_cubs;
+        let cfg_striped = cfg.stripe.num_cubs;
         // Pre-size the event queue for a full-load steady state so long
         // ramps never regrow the heap mid-run: each active stream keeps a
         // handful of events in flight (read issue/done, send due/done,
@@ -247,7 +268,8 @@ impl TigerSystem {
             controller: Controller::new(),
             clients,
             cpu: CpuModel::pentium133(),
-            controller_believes_failed: vec![false; num_cubs as usize],
+            // The controller, too, routes around spares until cut-over.
+            controller_believes_failed: (0..num_cubs).map(|c| c >= cfg_striped).collect(),
             backup: Controller::new(),
             active_controller: NetNode(0),
             promoted: false,
@@ -255,6 +277,8 @@ impl TigerSystem {
             clients_handed: 0,
             window_start: SimTime::ZERO,
             periodic_forward_due: vec![SimTime::ZERO; num_cubs as usize],
+            restripe: None,
+            restripe_add: None,
         };
         sys.schedule_periodic_events();
         sys
@@ -462,7 +486,10 @@ impl TigerSystem {
         if plan.is_empty() {
             return;
         }
-        let num_cubs = self.shared.cfg.stripe.num_cubs;
+        // The topology counts total cub machines (striped + spare): node
+        // numbering places clients after every cub machine, and fault
+        // selectors must resolve to the same nodes the system uses.
+        let num_cubs = self.shared.cfg.total_cubs();
         let disks_per_cub = self.shared.cfg.stripe.disks_per_cub;
         let topo = Topology {
             num_cubs,
@@ -514,7 +541,15 @@ impl TigerSystem {
                         },
                     );
                 }
+                ProcessFault::Restart { cub, at } => {
+                    self.shared
+                        .queue
+                        .schedule(*at, Event::RestartCub { cub: CubId(*cub) });
+                }
             }
+        }
+        for decl in &plan.restripes {
+            self.request_restripe(decl.at, decl.add_cubs);
         }
         for df in &plan.disks {
             if let DiskFaultKind::Death { at } = df.kind {
@@ -606,6 +641,302 @@ impl TigerSystem {
     /// single-point-of-failure caveat).
     pub fn fail_controller_at(&mut self, at: SimTime) {
         self.shared.queue.schedule(at, Event::FailController);
+    }
+
+    // --- Online recovery -----------------------------------------------------
+
+    /// Schedules a restart of a crashed/fenced cub at time `at`: it comes
+    /// back with empty schedule state and re-learns its slots via the
+    /// rejoin protocol.
+    pub fn restart_cub_at(&mut self, at: SimTime, cub: CubId) {
+        self.shared.queue.schedule(at, Event::RestartCub { cub });
+    }
+
+    /// Schedules a live restripe at time `at` that absorbs `add_cubs` of
+    /// the provisioned spares into the stripe. The moves execute as
+    /// background work inside the event loop; when the last block lands,
+    /// the system cuts over to the new geometry and re-inserts every
+    /// running viewer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `add_cubs` exceeds the configured spares, or if a
+    /// restripe is already scheduled (one at a time).
+    pub fn request_restripe(&mut self, at: SimTime, add_cubs: u32) {
+        assert!(
+            add_cubs <= self.shared.cfg.spare_cubs,
+            "restripe adds {add_cubs} cubs but only {} spares are provisioned",
+            self.shared.cfg.spare_cubs
+        );
+        assert!(
+            self.restripe_add.is_none() && self.restripe.is_none(),
+            "a restripe is already in progress"
+        );
+        self.restripe_add = Some(add_cubs);
+        self.shared.queue.schedule(at, Event::RestripeStart);
+    }
+
+    /// Handles [`Event::RestartCub`]: revive the machine with empty
+    /// schedule state, announce the rejoin, and resume periodic work
+    /// under a fresh monitoring baseline.
+    fn restart_cub(&mut self, now: SimTime, cub: CubId) {
+        let striped = self.shared.cfg.stripe.num_cubs;
+        if cub.raw() >= striped {
+            return; // Spares join via a restripe cut-over, not a rejoin.
+        }
+        if !self.cubs[cub.index()].failed {
+            return; // Never crashed, or already restarted.
+        }
+        self.shared
+            .tracer
+            .record(now, CTRL, TraceEvent::CubRestart { cub: cub.raw() });
+        let node = self.shared.cub_node(cub);
+        self.shared.net.revive_node(now, node);
+        self.cubs[cub.index()].restart(now, striped);
+        // Announce the rejoin to every striped cub and the controllers:
+        // receivers clear their failure belief and re-baseline deadman
+        // monitoring; ring neighbours answer with their own belief lists
+        // (bounded-view exchange) and the covering mirror partner opens
+        // its hand-back window.
+        for c in 0..striped {
+            if c != cub.raw() {
+                let dst = self.shared.cub_node(CubId(c));
+                self.shared
+                    .send_control(now, node, dst, Message::RejoinRequest { from: cub });
+            }
+        }
+        self.shared
+            .send_to_controllers(now, node, Message::RejoinRequest { from: cub });
+        // Restart periodic work. The deadman check fires one full timeout
+        // out, and `restart` reset every last-heard clock to `now`, so the
+        // fresh baseline can never declare a predecessor on stale silence.
+        let next_fwd = now + self.shared.cfg.forward_interval;
+        self.periodic_forward_due[cub.index()] = next_fwd;
+        self.cubs[cub.index()].next_forward_pass = next_fwd;
+        self.shared
+            .queue
+            .schedule(next_fwd, Event::ForwardPass { cub });
+        self.shared.queue.schedule(
+            now + self.shared.cfg.deadman_interval,
+            Event::DeadmanPing { cub },
+        );
+        self.shared.queue.schedule(
+            now + self.shared.cfg.deadman_timeout,
+            Event::DeadmanCheck { cub },
+        );
+    }
+
+    /// Handles [`Event::RestripeStart`]: plan the moves against the
+    /// current catalog and start the background pipeline.
+    fn restripe_start(&mut self, now: SimTime) {
+        let Some(add) = self.restripe_add else {
+            return;
+        };
+        if self.restripe.is_some() {
+            return;
+        }
+        let old = self.shared.cfg.stripe;
+        let new =
+            tiger_layout::StripeConfig::new(old.num_cubs + add, old.disks_per_cub, old.decluster);
+        let plan = tiger_layout::RestripePlan::plan(&self.shared.catalog, old, new);
+        self.shared.tracer.record(
+            now,
+            CTRL,
+            TraceEvent::RestripeStart {
+                moves: plan.moves().len() as u32,
+            },
+        );
+        self.restripe = Some(crate::restripe::LiveRestripe::new(plan, now));
+        if self.restripe.as_ref().is_some_and(|lr| lr.pending() == 0) {
+            self.restripe_cutover(now);
+        } else {
+            self.with_restripe(now, |lr, sh, cubs| lr.pump(sh, cubs, now));
+            self.shared
+                .queue
+                .schedule(now + SimDuration::from_millis(100), Event::RestripeTick);
+        }
+    }
+
+    /// The live-restripe cut-over barrier: every moved block has landed,
+    /// so swap the system to the new geometry in one event. Running
+    /// viewers are carried across by re-insertion — their old-incarnation
+    /// records are fenced with deschedules and a fresh incarnation starts
+    /// at each viewer's high-water mark, so no block is played twice and
+    /// at most the in-flight window is re-requested.
+    fn restripe_cutover(&mut self, now: SimTime) {
+        let Some(lr) = self.restripe.take() else {
+            return;
+        };
+        self.restripe_add = None;
+        let plan = lr.into_plan();
+        let old = plan.old_config();
+        let new = plan.new_config();
+        self.shared.tracer.record(
+            now,
+            CTRL,
+            TraceEvent::RestripeCutover {
+                moved: plan.moves().len() as u32,
+            },
+        );
+        // 1. Collect the live viewers (deterministically: clients in index
+        // order, instances sorted) before any state is torn down.
+        let mut live: Vec<(u32, ViewerInstance, FileId, u32)> = Vec::new();
+        for ci in 0..self.clients.len() as u32 {
+            let mut here: Vec<(u32, ViewerInstance, FileId, u32)> = self.clients[ci as usize]
+                .viewers()
+                .filter(|(_, v)| !v.stopped && !v.complete())
+                .map(|(&inst, v)| {
+                    let resume = v.high_water.map_or(v.base_block, |h| h + 1);
+                    (ci, inst, v.file, resume)
+                })
+                .collect();
+            here.sort_by_key(|&(_, inst, _, _)| (inst.viewer.raw(), inst.incarnation));
+            live.extend(here);
+        }
+        // 2. Fence the old incarnations: deschedules (slot from the
+        // controller's commit record) block any old-geometry record still
+        // in flight from re-entering a view after the swap.
+        let fences: Vec<Deschedule> = live
+            .iter()
+            .filter_map(|&(_, inst, _, _)| {
+                let rec = self
+                    .controller
+                    .viewer(&inst)
+                    .or_else(|| self.backup.viewer(&inst))?;
+                rec.slot.map(|slot| Deschedule {
+                    instance: inst,
+                    slot,
+                })
+            })
+            .collect();
+        let hold_until = now + self.shared.cfg.deschedule_hold + self.shared.cfg.max_vstate_lead;
+        for &(ci, inst, _, _) in &live {
+            self.controller.on_viewer_finished(inst);
+            self.backup.on_viewer_finished(inst);
+            self.clients[ci as usize].on_stopped(inst);
+        }
+        for cub in &mut self.cubs {
+            cub.cutover_reset(now, &fences, hold_until);
+        }
+        // 3. Swap the geometry: config, derived parameters, catalog
+        // start-disks, mirror placement.
+        let add = new.num_cubs - old.num_cubs;
+        self.shared.cfg.stripe = new;
+        self.shared.cfg.spare_cubs -= add;
+        self.shared.params = ScheduleParams::derive(
+            new,
+            self.shared.cfg.block_play_time,
+            self.shared.cfg.block_size(),
+            self.shared.cfg.disk_worst_read(),
+            self.shared.cfg.nic_capacity,
+        )
+        .with_scheduling_lead(self.shared.cfg.scheduling_lead)
+        .with_ownership_duration(self.shared.cfg.ownership_duration);
+        self.shared.catalog.restripe(new);
+        self.shared.placement = MirrorPlacement::new(new);
+        // 4. Layout: drop the source entries of every moved block (the
+        // copy already landed at its destination during the background
+        // phase) and re-derive the mirror layout wholesale.
+        for mv in plan.moves() {
+            let src = old.cub_of(mv.from);
+            self.cubs[src.index()].remove_primary_entry(mv.from, mv.file, mv.block);
+        }
+        self.relay_secondaries();
+        // 5. Ring: activate the absorbed spares (their disks were live all
+        // along) and distribute the ground-truth membership map — the
+        // restriper's cut-over barrier is the one moment it is known.
+        for j in old.num_cubs..new.num_cubs {
+            self.cubs[j as usize].failed = false;
+        }
+        let failed_map: Vec<bool> = self.cubs.iter().map(|c| c.failed).collect();
+        for cub in &mut self.cubs {
+            cub.set_ring_state(&failed_map, now);
+        }
+        self.controller_believes_failed.clone_from(&failed_map);
+        for j in old.num_cubs..new.num_cubs {
+            let cub = CubId(j);
+            let next_fwd = now + self.shared.cfg.forward_interval;
+            self.periodic_forward_due[j as usize] = next_fwd;
+            self.cubs[j as usize].next_forward_pass = next_fwd;
+            self.shared
+                .queue
+                .schedule(next_fwd, Event::ForwardPass { cub });
+            self.shared.queue.schedule(
+                now + self.shared.cfg.deadman_interval,
+                Event::DeadmanPing { cub },
+            );
+            self.shared.queue.schedule(
+                now + self.shared.cfg.deadman_timeout,
+                Event::DeadmanCheck { cub },
+            );
+        }
+        // 6. The omniscient checker's materialized schedule is keyed to
+        // the old geometry; rebuild it fresh (with its insertion grace).
+        if self.shared.omniscient.is_some() {
+            self.enable_omniscient();
+        }
+        // 7. Re-insert every carried viewer as a fresh incarnation at its
+        // high-water mark (a normal start request through the controller).
+        for (ci, inst, file, resume) in live {
+            let renewed = ViewerInstance {
+                viewer: inst.viewer,
+                incarnation: inst.incarnation + 1,
+            };
+            self.on_client_start(now, ci, file, resume, renewed);
+        }
+    }
+
+    /// Re-derives every cub's mirror (secondary) layout for the current
+    /// stripe: the declustered pieces of each block, placed by the same
+    /// rule content loading uses.
+    fn relay_secondaries(&mut self) {
+        for cub in &mut self.cubs {
+            cub.clear_secondary_layout();
+        }
+        let stripe = self.shared.params.stripe();
+        let files = self.shared.catalog.files().to_vec();
+        for meta in files {
+            for b in 0..meta.num_blocks {
+                let loc = self
+                    .shared
+                    .catalog
+                    .locate(meta.id, BlockNum(b))
+                    .expect("in range");
+                for piece in self.shared.placement.pieces_for(loc.disk, meta.block_size) {
+                    let pcub = stripe.cub_of(piece.disk);
+                    let plocal = stripe.local_index_of(piece.disk);
+                    self.cubs[pcub.index()].load_secondary(
+                        piece.disk,
+                        plocal,
+                        meta.id,
+                        BlockNum(b),
+                        piece.piece,
+                        piece.size,
+                    );
+                }
+            }
+        }
+    }
+
+    /// A canonical digest of the primary block layout: every indexed
+    /// `(file, block, disk)` triple, sorted. Two systems with byte-equal
+    /// digests place every block identically — the live-restripe test
+    /// compares against a statically restriped target.
+    pub fn layout_digest(&self) -> String {
+        let mut lines: Vec<String> = self
+            .cubs
+            .iter()
+            .flat_map(|cub| {
+                cub.index()
+                    .primary_keys()
+                    .map(|(disk, file, block)| {
+                        format!("{:08} {:08} {:08}", file.raw(), block.raw(), disk.raw())
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
     }
 
     // --- Event loop ----------------------------------------------------------
@@ -741,6 +1072,40 @@ impl TigerSystem {
             Event::ClientSeek { instance, to_block } => {
                 self.on_client_seek(now, instance, to_block);
             }
+            Event::RestartCub { cub } => self.restart_cub(now, cub),
+            Event::RestripeStart => self.restripe_start(now),
+            Event::RestripeTick => {
+                self.with_restripe(now, |lr, sh, cubs| lr.pump(sh, cubs, now));
+                if self.restripe.is_some() {
+                    self.shared
+                        .queue
+                        .schedule(now + SimDuration::from_millis(100), Event::RestripeTick);
+                }
+            }
+            Event::RestripeRead { idx } => {
+                self.with_restripe(now, |lr, sh, cubs| lr.on_read_done(sh, cubs, now, idx));
+            }
+            Event::RestripeArrive { idx } => {
+                self.with_restripe(now, |lr, _sh, cubs| lr.on_arrive(cubs, idx));
+            }
+        }
+    }
+
+    /// Runs `f` against the in-progress restripe (no-op if none), then
+    /// cuts over if every move has landed.
+    fn with_restripe(
+        &mut self,
+        now: SimTime,
+        f: impl FnOnce(&mut crate::restripe::LiveRestripe, &mut Shared, &mut [Cub]),
+    ) {
+        let Some(mut lr) = self.restripe.take() else {
+            return;
+        };
+        f(&mut lr, &mut self.shared, &mut self.cubs);
+        let done = lr.pending() == 0;
+        self.restripe = Some(lr);
+        if done {
+            self.restripe_cutover(now);
         }
     }
 
@@ -749,7 +1114,7 @@ impl TigerSystem {
     /// a frozen cub), as is controller and client work: freezes model a
     /// stalled cub process, nothing else.
     fn frozen_target(&self, event: &Event) -> Option<CubId> {
-        let num_cubs = self.shared.cfg.stripe.num_cubs;
+        let num_cubs = self.shared.cfg.total_cubs();
         match event {
             Event::Deliver { dst, .. } => {
                 (dst.raw() >= 1 && dst.raw() <= num_cubs).then(|| CubId(dst.raw() - 1))
@@ -767,7 +1132,7 @@ impl TigerSystem {
     }
 
     fn on_deliver(&mut self, now: SimTime, dst: NetNode, msg: Message) {
-        let num_cubs = self.shared.cfg.stripe.num_cubs;
+        let num_cubs = self.shared.cfg.total_cubs();
         if dst == self.shared.controller_node() {
             self.on_controller_message(now, msg);
         } else if Some(dst) == self.shared.backup_controller_node() {
@@ -821,6 +1186,9 @@ impl TigerSystem {
             }
             Message::FailureNotice { failed } => {
                 self.controller_believes_failed[failed.index()] = true;
+            }
+            Message::RejoinRequest { from } => {
+                self.controller_believes_failed[from.index()] = false;
             }
             _ => {}
         }
@@ -943,6 +1311,10 @@ impl TigerSystem {
             }
             Message::FailureNotice { failed } => {
                 self.controller_believes_failed[failed.index()] = true;
+            }
+            Message::RejoinRequest { from } => {
+                // A restarted cub is routable again.
+                self.controller_believes_failed[from.index()] = false;
             }
             other => {
                 debug_assert!(false, "controller received unexpected message: {other:?}");

@@ -139,6 +139,14 @@ impl Disk {
         self.failed
     }
 
+    /// Revives a failed disk (the machine rejoined with its media intact).
+    /// The platters kept their bytes; only the serving state restarts.
+    /// `fail` already zeroed `outstanding`, and `submit` clamps the head
+    /// start time with `max(now)`, so the stale `head_free_at` is harmless.
+    pub fn revive(&mut self, _now: SimTime) {
+        self.failed = false;
+    }
+
     /// Submits a read at `now`; returns the absolute completion time.
     ///
     /// The model is FIFO: service begins when the head frees up. Service

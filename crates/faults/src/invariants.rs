@@ -65,15 +65,35 @@ impl Intervals {
 
 /// The intervals during which `cub` cannot get a ping through to
 /// `observer`, according to `plan`: its crashes and power-domain cuts
-/// (which stall it forever), its freeze windows, and any partition that
-/// separates the pair.
+/// (which stall it until a matching restart, or forever), its freeze
+/// windows, and any partition that separates the pair.
 pub fn stall_intervals(plan: &FaultPlan, topo: Topology, cub: u32, observer: u32) -> Intervals {
     let mut out = Intervals::new();
+    // A crash/power-cut stall ends at the cub's next scheduled restart:
+    // the rejoin protocol announces itself ring-wide immediately, so from
+    // the restart instant on the cub is reachable again (modulo the
+    // checker's grace, which absorbs the announcement latency).
+    let mut restarts: Vec<SimTime> = plan
+        .process
+        .iter()
+        .filter_map(|p| match p {
+            ProcessFault::Restart { cub: c, at } if *c == cub => Some(*at),
+            _ => None,
+        })
+        .collect();
+    restarts.sort();
+    let stall_end = |down_at: SimTime| {
+        restarts
+            .iter()
+            .copied()
+            .find(|&r| r > down_at)
+            .unwrap_or(SimTime::MAX)
+    };
     for p in &plan.process {
         match p {
-            ProcessFault::Crash { cub: c, at } if *c == cub => out.add(*at, SimTime::MAX),
+            ProcessFault::Crash { cub: c, at } if *c == cub => out.add(*at, stall_end(*at)),
             ProcessFault::PowerDomain { cubs, at } if cubs.contains(&cub) => {
-                out.add(*at, SimTime::MAX)
+                out.add(*at, stall_end(*at))
             }
             ProcessFault::Freeze {
                 cub: c,
@@ -83,17 +103,31 @@ pub fn stall_intervals(plan: &FaultPlan, topo: Topology, cub: u32, observer: u32
             _ => {}
         }
     }
+    for (from, heal) in partitions_separating(plan, topo, cub, observer) {
+        out.add(from, heal);
+    }
+    out
+}
+
+/// The `(from, heal)` windows of every partition in `plan` that puts
+/// `cub` and `observer` on opposite sides.
+fn partitions_separating(
+    plan: &FaultPlan,
+    topo: Topology,
+    cub: u32,
+    observer: u32,
+) -> Vec<(SimTime, SimTime)> {
     let cub_node = topo.cub_node(cub);
     let obs_node = topo.cub_node(observer);
     let in_group = |group: &[NodeSel], node: u32| group.iter().any(|&s| topo.matches(s, node));
-    for p in &plan.partitions {
-        let separates = (in_group(&p.a, cub_node) && in_group(&p.b, obs_node))
-            || (in_group(&p.b, cub_node) && in_group(&p.a, obs_node));
-        if separates {
-            out.add(p.from, p.heal);
-        }
-    }
-    out
+    plan.partitions
+        .iter()
+        .filter(|p| {
+            (in_group(&p.a, cub_node) && in_group(&p.b, obs_node))
+                || (in_group(&p.b, cub_node) && in_group(&p.a, obs_node))
+        })
+        .map(|p| (p.from, p.heal))
+        .collect()
 }
 
 /// One observed deadman declaration, lifted out of the trace.
@@ -107,6 +141,23 @@ pub struct ObservedDeclare {
     pub failed: u32,
     /// The silence the declarer measured.
     pub silence: SimDuration,
+}
+
+/// A genuine communication stall observed in the run itself rather than
+/// declared by the plan — a cub that fenced itself off after learning it
+/// was declared dead (a partition-induced cascade), or was power-cut by a
+/// protocol reaction. The chaos runner lifts these out of the trace
+/// (`cub-fenced` / protocol-side `power-cut`, closed by `cub-restart`) so
+/// that declarations against genuinely silent cubs the *plan* never
+/// touched still count as justified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObservedStall {
+    /// The silent cub.
+    pub cub: u32,
+    /// When the silence began.
+    pub from: SimTime,
+    /// When it ended (`SimTime::MAX` if it never did).
+    pub until: SimTime,
 }
 
 /// Checks that every declaration in `declares` is justified: the measured
@@ -130,6 +181,22 @@ pub fn check_deadman_justified(
     timeout: SimDuration,
     grace: SimDuration,
 ) -> Vec<String> {
+    check_deadman_justified_with(plan, topo, declares, &[], timeout, grace)
+}
+
+/// [`check_deadman_justified`] with trace-observed stalls folded in: the
+/// partitioned-ring form of the invariant. During a partition each side
+/// declares the other dead (justifiably — the stall intervals cover it),
+/// and after the heal the fenced losers are genuinely silent without any
+/// plan clause saying so; their fencing intervals arrive via `extra`.
+pub fn check_deadman_justified_with(
+    plan: &FaultPlan,
+    topo: Topology,
+    declares: &[ObservedDeclare],
+    extra: &[ObservedStall],
+    timeout: SimDuration,
+    grace: SimDuration,
+) -> Vec<String> {
     let mut violations = Vec::new();
     for d in declares {
         if d.silence <= timeout {
@@ -139,12 +206,30 @@ pub fn check_deadman_justified(
             ));
             continue;
         }
-        let stalls = stall_intervals(plan, topo, d.failed, d.declarer);
+        let mut stalls = stall_intervals(plan, topo, d.failed, d.declarer);
+        for s in extra.iter().filter(|s| s.cub == d.failed) {
+            stalls.add(s.from, s.until);
+        }
+        // A healed partition leaves the pair's failure views divergent:
+        // each side declared the other dead, so the declared cub pings
+        // its *believed* successor — often a cub the cascade has already
+        // fenced — and the declarer structurally hears nothing until the
+        // views reconcile. The reconciliation takes at most one more
+        // deadman round (timeout plus a check tick and the notice
+        // latency, both inside `grace`), so the pair's stall extends one
+        // settle window past the heal; any silence claimed beyond it
+        // means baselines were not reset and is a genuine violation.
+        let settle = timeout + grace + grace;
+        for (from, heal) in partitions_separating(plan, topo, d.failed, d.declarer) {
+            if heal < SimTime::MAX {
+                stalls.add(from, heal + settle);
+            }
+        }
         let from = d.at.saturating_sub(d.silence) + grace;
         let until = d.at.saturating_sub(grace);
         if !stalls.covers(from, until) {
             violations.push(format!(
-                "cub{} declared cub{} dead at {} (silence {}), but the plan stalls it only \
+                "cub{} declared cub{} dead at {} (silence {}), but it was stalled only \
                  during {:?} — a live cub was declared dead",
                 d.declarer,
                 d.failed,
@@ -289,6 +374,93 @@ mod tests {
         let plan = FaultPlan::new().freeze(0, t(1), t(3));
         let v = check_deadman_justified(&plan, topo, &[declare], timeout, grace);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn restart_ends_a_crash_stall() {
+        let topo = Topology {
+            num_cubs: 4,
+            num_clients: 0,
+            backup_controller: false,
+        };
+        let plan = FaultPlan::new()
+            .crash(1, t(5))
+            .restart(1, t(10))
+            .crash(1, t(20));
+        // First crash stalls until the restart; the second forever.
+        assert_eq!(
+            stall_intervals(&plan, topo, 1, 2).spans(),
+            &[(t(5), t(10)), (t(20), SimTime::MAX)]
+        );
+        // Power-domain cuts pair with restarts the same way.
+        let pd = FaultPlan::new()
+            .power_domain(vec![1, 2], t(4))
+            .restart(2, t(9));
+        assert_eq!(stall_intervals(&pd, topo, 2, 0).spans(), &[(t(4), t(9))]);
+        assert_eq!(
+            stall_intervals(&pd, topo, 1, 0).spans(),
+            &[(t(4), SimTime::MAX)]
+        );
+        // A declaration whose silence window reaches past the restart is
+        // unjustified: the cub was back and talking.
+        let timeout = d(2);
+        let grace = SimDuration::from_millis(600);
+        let late = ObservedDeclare {
+            at: t(14),
+            declarer: 2,
+            failed: 1,
+            silence: d(6),
+        };
+        let v = check_deadman_justified(&plan, topo, &[late], timeout, grace);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("live cub"), "{}", v[0]);
+        // The same declaration landing before the restart is justified.
+        let ok = ObservedDeclare {
+            at: t(9),
+            silence: d(3),
+            ..late
+        };
+        assert!(check_deadman_justified(&plan, topo, &[ok], timeout, grace).is_empty());
+    }
+
+    #[test]
+    fn observed_stalls_justify_fencing_cascades() {
+        let topo = Topology {
+            num_cubs: 4,
+            num_clients: 0,
+            backup_controller: false,
+        };
+        let timeout = d(2);
+        let grace = SimDuration::from_millis(600);
+        // The plan never touches cub 3, but the run fenced it at t=5
+        // (e.g. the partition loser): a later declaration is justified
+        // only when the fencing interval is passed in.
+        let plan = FaultPlan::new();
+        let declare = ObservedDeclare {
+            at: t(9),
+            declarer: 0,
+            failed: 3,
+            silence: d(3),
+        };
+        assert_eq!(
+            check_deadman_justified(&plan, topo, &[declare], timeout, grace).len(),
+            1
+        );
+        let fence = ObservedStall {
+            cub: 3,
+            from: t(5),
+            until: SimTime::MAX,
+        };
+        assert!(
+            check_deadman_justified_with(&plan, topo, &[declare], &[fence], timeout, grace)
+                .is_empty()
+        );
+        // A stall for a different cub does not help.
+        let other = ObservedStall { cub: 2, ..fence };
+        assert_eq!(
+            check_deadman_justified_with(&plan, topo, &[declare], &[other], timeout, grace).len(),
+            1
+        );
     }
 
     #[test]

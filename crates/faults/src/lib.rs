@@ -25,8 +25,11 @@ pub mod plan;
 pub use inject::{
     DiskFaults, DiskVerdict, NetFaults, NetInjection, NetInjectionKind, NetPerturb, ProcFaults,
 };
-pub use invariants::{check_deadman_justified, loss_window_bound, Intervals, ObservedDeclare};
+pub use invariants::{
+    check_deadman_justified, check_deadman_justified_with, loss_window_bound, stall_intervals,
+    Intervals, ObservedDeclare, ObservedStall,
+};
 pub use plan::{
     DiskFault, DiskFaultKind, FaultPlan, FaultWindow, LinkFault, NodeSel, Partition, ProcessFault,
-    Topology,
+    RestripeDecl, Topology,
 };

@@ -198,6 +198,27 @@ pub enum ProcessFault {
         /// When.
         at: SimTime,
     },
+    /// Restart a previously crashed/fenced/power-cut cub at `at`: it comes
+    /// back with empty schedule state and runs the rejoin protocol. A
+    /// restart of a cub that never failed is a no-op.
+    Restart {
+        /// The rejoiner.
+        cub: u32,
+        /// When power returns.
+        at: SimTime,
+    },
+}
+
+/// A scheduled live restripe: at `at`, the system computes a
+/// [`RestripePlan`](../tiger_layout) toward a stripe widened by
+/// `add_cubs` pre-provisioned spare cubs and starts executing it as
+/// background disk/net work inside the event loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestripeDecl {
+    /// When the restripe starts.
+    pub at: SimTime,
+    /// How many spare cubs the new stripe adds.
+    pub add_cubs: u32,
 }
 
 /// A whole scenario: what goes wrong, where, and when.
@@ -211,6 +232,9 @@ pub struct FaultPlan {
     pub disks: Vec<DiskFault>,
     /// Process faults.
     pub process: Vec<ProcessFault>,
+    /// Scheduled live restripes (not faults, but part of the same timed
+    /// scenario vocabulary so chaos plans can reconfigure under fire).
+    pub restripes: Vec<RestripeDecl>,
 }
 
 /// One timed window of the plan, with a stable clause id for trace
@@ -239,6 +263,7 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.disks.is_empty()
             && self.process.is_empty()
+            && self.restripes.is_empty()
     }
 
     /// Adds a drop window on `src -> dst`.
@@ -387,6 +412,18 @@ impl FaultPlan {
         self
     }
 
+    /// Restarts a previously failed cub at `at` (rejoin protocol).
+    pub fn restart(mut self, cub: u32, at: SimTime) -> Self {
+        self.process.push(ProcessFault::Restart { cub, at });
+        self
+    }
+
+    /// Schedules a live restripe at `at` adding `add_cubs` spare cubs.
+    pub fn restripe(mut self, at: SimTime, add_cubs: u32) -> Self {
+        self.restripes.push(RestripeDecl { at, add_cubs });
+        self
+    }
+
     /// The plan's timed windows with their stable clause ids (for the
     /// `fault-start`/`fault-end` trace markers). Crashes, disk deaths,
     /// and freezes are instant-or-marked by their own dedicated events
@@ -442,6 +479,8 @@ impl FaultPlan {
     /// crash c1 at=9s
     /// freeze c0 from=2s until=4s
     /// power-domain c1,c2 at=9s
+    /// restart c1 at=15s
+    /// restripe at=20s add=1
     /// ```
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
@@ -577,6 +616,21 @@ fn parse_group(tok: &str) -> Result<Vec<NodeSel>, String> {
 fn parse_clause(line: &str, plan: &mut FaultPlan) -> Result<(), String> {
     let toks: Vec<&str> = line.split_ascii_whitespace().collect();
     let (&verb, rest) = toks.split_first().ok_or("empty clause")?;
+    if verb == "restripe" {
+        // Restripes target the whole system, so the clause has no head
+        // token — only key=value arguments.
+        let args = Args::new(rest)?;
+        let at = parse_time(args.get("at")?)?;
+        let add_cubs: u32 = args
+            .get("add")?
+            .parse()
+            .map_err(|_| "bad add= (expected a cub count)".to_string())?;
+        if add_cubs == 0 {
+            return Err("add= must be at least 1".to_string());
+        }
+        plan.restripes.push(RestripeDecl { at, add_cubs });
+        return Ok(());
+    }
     let (&head, kvs) = rest.split_first().ok_or("clause needs a target")?;
     let args = Args::new(kvs)?;
     match verb {
@@ -665,6 +719,12 @@ fn parse_clause(line: &str, plan: &mut FaultPlan) -> Result<(), String> {
         }
         "crash" => {
             plan.process.push(ProcessFault::Crash {
+                cub: parse_cub(head)?,
+                at: parse_time(args.get("at")?)?,
+            });
+        }
+        "restart" => {
+            plan.process.push(ProcessFault::Restart {
                 cub: parse_cub(head)?,
                 at: parse_time(args.get("at")?)?,
             });
@@ -774,6 +834,47 @@ power-domain c1,c2 at=9s
         ] {
             let err = FaultPlan::parse(bad).expect_err(bad);
             assert!(err.contains("line 1"), "{err}");
+            assert!(err.contains(needle), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn restart_and_restripe_clauses_parse() {
+        let plan = FaultPlan::parse("crash c1 at=9s\nrestart c1 at=15s\nrestripe at=20s add=1\n")
+            .expect("parses");
+        let built = FaultPlan::new()
+            .crash(1, SimTime::from_secs(9))
+            .restart(1, SimTime::from_secs(15))
+            .restripe(SimTime::from_secs(20), 1);
+        assert_eq!(plan, built);
+        assert_eq!(
+            plan.process[1],
+            ProcessFault::Restart {
+                cub: 1,
+                at: SimTime::from_secs(15)
+            }
+        );
+        assert_eq!(
+            plan.restripes,
+            vec![RestripeDecl {
+                at: SimTime::from_secs(20),
+                add_cubs: 1
+            }]
+        );
+        assert!(!plan.is_empty());
+        // A restripe-only plan is not empty either.
+        assert!(!FaultPlan::new()
+            .restripe(SimTime::from_secs(1), 1)
+            .is_empty());
+
+        for (bad, needle) in [
+            ("restart c1", "at="),
+            ("restart ctrl at=2s", "expected a cub"),
+            ("restripe at=20s add=0", "at least 1"),
+            ("restripe at=20s", "add="),
+            ("restripe add=1", "at="),
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
             assert!(err.contains(needle), "{bad} -> {err}");
         }
     }

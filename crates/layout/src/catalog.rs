@@ -181,6 +181,19 @@ impl FileCatalog {
         (block.raw() < meta.num_blocks).then(|| self.cfg.block_location(meta.start_disk, block))
     }
 
+    /// Re-derives every file's layout for a new stripe configuration (the
+    /// cut-over step of a restripe). File ids, block counts, and block
+    /// sizes are untouched; only the starting disks move — exactly the
+    /// derivation `RestripePlan::plan` uses for its target layout, so the
+    /// catalog after `restripe(new)` locates every block at the plan's
+    /// `to` disk.
+    pub fn restripe(&mut self, new: StripeConfig) {
+        self.cfg = new;
+        for meta in &mut self.files {
+            meta.start_disk = new.starting_disk(meta.id);
+        }
+    }
+
     /// Total primary bytes across all files.
     pub fn total_primary_bytes(&self) -> ByteSize {
         self.files

@@ -195,6 +195,31 @@ impl BlockIndex {
         self.primary.retain(|&(d, _, _), _| d != disk);
         self.secondary.retain(|&(d, _, _, _), _| d != disk);
     }
+
+    /// Removes the primary extent of `(file, block)` on `disk`, returning
+    /// it if present (live-restripe cut-over: the block now lives on its
+    /// new disk and the stale entry must stop answering lookups).
+    pub fn remove_primary(
+        &mut self,
+        disk: DiskId,
+        file: FileId,
+        block: BlockNum,
+    ) -> Option<IndexEntry> {
+        self.primary.remove(&(disk, file, block))
+    }
+
+    /// Removes every secondary extent (live-restripe cut-over: mirror
+    /// placement is re-derived wholesale for the new stripe).
+    pub fn clear_all_secondary(&mut self) {
+        self.secondary.clear();
+    }
+
+    /// Iterates the `(disk, file, block)` keys of every primary extent, in
+    /// arbitrary order (callers that need determinism must sort — the
+    /// layout digest does).
+    pub fn primary_keys(&self) -> impl Iterator<Item = (DiskId, FileId, BlockNum)> + '_ {
+        self.primary.keys().copied()
+    }
 }
 
 #[cfg(test)]

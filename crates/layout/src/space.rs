@@ -165,6 +165,14 @@ impl DiskSpace {
         self.primary_next = 0;
         self.secondary_next = self.split;
     }
+
+    /// Releases only the secondary region (live-restripe cut-over: mirror
+    /// pieces are re-laid for the new placement while the primary region —
+    /// whose extents moved-away blocks leak by design in a bump allocator —
+    /// keeps growing until an offline rewrite reclaims it).
+    pub fn clear_secondary(&mut self) {
+        self.secondary_next = self.split;
+    }
 }
 
 #[cfg(test)]

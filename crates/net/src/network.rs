@@ -125,6 +125,14 @@ impl Network {
         self.failed[node.index()]
     }
 
+    /// Revives a failed node: it may send and receive again. Any paced
+    /// stream sends that were in flight at the failure never ended, so
+    /// the node's NIC reservation state is cleared too.
+    pub fn revive_node(&mut self, now: SimTime, node: NetNode) {
+        self.failed[node.index()] = false;
+        self.nics[node.index()].reset_active(now);
+    }
+
     /// Sends a control message of `bytes` from `src` to `dst` at `now`.
     ///
     /// Returns the delivery time, or `None` if either endpoint is failed

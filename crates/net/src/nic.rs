@@ -99,6 +99,16 @@ impl Nic {
         self.bytes_sent.window_rate(now)
     }
 
+    /// Forgets all in-progress sends (a machine revive after a power cut:
+    /// the paced sends that were active at the cut never reach their
+    /// `end_send`, so their reserved bandwidth must be reclaimed here).
+    /// Lifetime counters survive.
+    pub fn reset_active(&mut self, now: SimTime) {
+        self.active = Bandwidth::ZERO;
+        self.active_sends = 0;
+        self.utilization.set(now, 0.0);
+    }
+
     /// Starts a fresh measurement window.
     pub fn reset_window(&mut self, now: SimTime) {
         self.utilization.reset_window(now);

@@ -195,6 +195,23 @@ trace_events! {
     FaultStart => "fault-start" { clause: u32 },
     /// A windowed fault clause closed (partitions heal here).
     FaultEnd => "fault-end" { clause: u32 },
+    /// A failed/fenced cub restarted with empty schedule state and began
+    /// the rejoin protocol.
+    CubRestart => "cub-restart" { cub: u32 },
+    /// A neighbor granted `count` schedule records to a rejoining cub
+    /// (the bounded-view exchange of the rejoin protocol).
+    RejoinGrant => "rejoin-grant" { to: u32, count: u32 },
+    /// A rejoined cub sent its first primary block: its schedule slice is
+    /// warm again and mirror catch-up may end.
+    RejoinDone => "rejoin-done" { cub: u32 },
+    /// A live restripe began executing `moves` background block moves.
+    RestripeStart => "restripe-start" { moves: u32 },
+    /// A restripe pass found every remaining move blocked (dead or
+    /// partitioned endpoints); `pending` moves wait for recovery.
+    RestripeStall => "restripe-stall" { pending: u32 },
+    /// All moves committed: the system cut over to the new stripe layout
+    /// after moving `moved` blocks.
+    RestripeCutover => "restripe-cutover" { moved: u32 },
 }
 
 /// One recorded event: global ring sequence number, simulation time, and
@@ -483,6 +500,12 @@ mod tests {
             (2, TraceEvent::CubFenced { cub: 2 }),
             (CTRL, TraceEvent::FaultStart { clause: 0 }),
             (CTRL, TraceEvent::FaultEnd { clause: 0 }),
+            (CTRL, TraceEvent::CubRestart { cub: 1 }),
+            (2, TraceEvent::RejoinGrant { to: 1, count: 12 }),
+            (1, TraceEvent::RejoinDone { cub: 1 }),
+            (CTRL, TraceEvent::RestripeStart { moves: 96 }),
+            (CTRL, TraceEvent::RestripeStall { pending: 4 }),
+            (CTRL, TraceEvent::RestripeCutover { moved: 96 }),
         ]
     }
 

@@ -62,6 +62,10 @@ const FAULT_EVENTS: &[&str] = &[
     "cub-fenced",
     "fault-start",
     "fault-end",
+    "cub-restart",
+    "restripe-start",
+    "restripe-stall",
+    "restripe-cutover",
 ];
 
 fn is_fault(rec: &TraceRecord) -> bool {

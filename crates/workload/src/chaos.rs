@@ -13,25 +13,39 @@
 //!    force a fencing window — a freeze past the deadman timeout, or a
 //!    partition — are exempt: the bounded hand-off overlap is by design.)
 //! 2. **No live cub declared dead.** Every deadman declaration must be
-//!    justified by a plan-induced stall at least as long as the claimed
-//!    silence (see [`tiger_faults::check_deadman_justified`]). Checked
-//!    only when the plan leaves the ping ring observable (no partitions,
-//!    no probabilistic drops).
+//!    justified by a genuine communication stall at least as long as the
+//!    claimed silence — declared by the plan (crashes, freezes,
+//!    partitions separating the pair) or observed in the run itself
+//!    (protocol-side fencing and power cuts, each closed by the cub's
+//!    restart; see [`tiger_faults::check_deadman_justified_with`]).
+//!    Partitioned rings are modeled, not skipped; only probabilistic
+//!    drops (which silence pings without any interval to point at) turn
+//!    the check off.
 //! 3. **Schedule views stay within `maxVStateLead`** (plus the
 //!    declustered forwarding slack) on every living cub.
 //! 4. **Loss window bounded after a single clean failure**: when the
 //!    plan is exactly one cub crash, the span between the earliest and
 //!    latest lost block must stay within
 //!    [`tiger_faults::loss_window_bound`].
+//! 5. **Rejoin convergence bounded.** A restarted cub that re-accepts a
+//!    slot (`rejoin-done`) must do so within the hand-back window plus
+//!    scheduling slack of its `cub-restart` — re-learning the schedule
+//!    must not take longer than the §4 ownership-insertion path allows.
+//! 6. **Restripe duration within the §6.4 bandwidth estimate.** A
+//!    fault-free live restripe must cut over no sooner than the raw
+//!    transfer time of its bottleneck disk/NIC and no later than the
+//!    half-duty background-bandwidth estimate times a contention factor.
 //!
 //! Violations of the omniscient checker and the NIC/schedule asserts
 //! (`Metrics::violations`) are folded in as well.
 
 use tiger_core::{TigerConfig, TigerSystem};
 use tiger_faults::{
-    check_deadman_justified, loss_window_bound, FaultPlan, ObservedDeclare, ProcessFault, Topology,
+    check_deadman_justified_with, loss_window_bound, FaultPlan, ObservedDeclare, ObservedStall,
+    ProcessFault, Topology,
 };
-use tiger_sim::{RngTree, SimDuration, SimTime};
+use tiger_layout::{RestripePlan, StripeConfig};
+use tiger_sim::{Bandwidth, RngTree, SimDuration, SimTime};
 use tiger_trace::TraceEvent;
 
 use crate::catalog::{populate_catalog, CatalogSpec};
@@ -120,9 +134,41 @@ pub fn chaos_digest(o: &ChaosOutcome) -> String {
 /// Runs one chaos campaign: load the system, apply the plan, run to the
 /// horizon, then check every invariant.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
-    let mut sys = TigerSystem::new(cfg.tiger.clone());
+    // Plans that restripe need spare machines on the floor; provision
+    // them automatically so a plan is self-contained (the spares are
+    // inert until the cut-over, so a plan without restripes is
+    // unaffected by a non-zero `spare_cubs` in its base config).
+    let mut tiger = cfg.tiger.clone();
+    let spares_needed = cfg
+        .plan
+        .restripes
+        .iter()
+        .map(|r| r.add_cubs)
+        .max()
+        .unwrap_or(0);
+    tiger.spare_cubs = tiger.spare_cubs.max(spares_needed);
+    let mut sys = TigerSystem::new(tiger.clone());
     sys.enable_trace(cfg.trace_cap);
     let files = populate_catalog(&mut sys, &cfg.catalog);
+    // The §6.4 duration estimate, computed from the same catalog the
+    // live restriper will plan over (streaming never changes the
+    // catalog, so the pre-run plan equals the one `restripe-start`
+    // computes).
+    let restripe_estimate = cfg.plan.restripes.first().map(|r| {
+        let old = tiger.stripe;
+        let new = StripeConfig::new(old.num_cubs + r.add_cubs, old.disks_per_cub, old.decluster);
+        let plan = RestripePlan::plan(&sys.shared().catalog, old, new);
+        // Fastest conceivable drain: bottleneck bytes at the outermost
+        // zone rate with the whole NIC — a hard lower bound on any
+        // schedule that actually moves the bytes.
+        let floor = plan.estimate_duration(tiger.disk.rate_at(0.0), tiger.nic_capacity);
+        // The §6.4-style budget: innermost-zone media rate at the
+        // pump's half-duty pacing.
+        let half_inner =
+            Bandwidth::from_bits_per_sec(tiger.disk.rate_at(0.9999).bits_per_sec() / 2);
+        let budget = plan.estimate_duration(half_inner, tiger.nic_capacity);
+        (floor, budget)
+    });
     let mut chooser = RngTree::new(cfg.tiger.seed).fork("chaos-files", 0);
     let capacity = sys.shared().params.capacity();
     let want = ((capacity as f64) * cfg.load).round() as u32;
@@ -136,8 +182,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     sys.apply_fault_plan(&cfg.plan);
     sys.run_until(cfg.run_to);
 
+    // Total machines, matching the node numbering `apply_fault_plan`
+    // compiled selectors against (striped members plus spares).
     let topo = Topology {
-        num_cubs: cfg.tiger.stripe.num_cubs,
+        num_cubs: tiger.total_cubs(),
         num_clients: cfg.tiger.num_clients,
         backup_controller: cfg.tiger.backup_controller,
     };
@@ -180,29 +228,51 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             report.dup_blocks
         ));
     }
-    // Invariant 2: every declaration justified by a plan-induced stall.
-    // Only checkable when the plan leaves the ping ring observable:
-    // partitions and probabilistic drops silence the ring in ways the
-    // per-cub stall model cannot express (Tiger's deadman assumes the
-    // switched LAN of §5 — after a partition the divergent failure views
-    // legitimately cascade into declarations of live cubs, which the
-    // fencing protocol then resolves by consistency over availability).
-    let ring_observable =
-        cfg.plan.partitions.is_empty() && cfg.plan.links.iter().all(|l| l.drop_prob == 0.0);
+    // Invariant 2: every declaration justified by a genuine stall. The
+    // plan declares crashes, freezes, and partitions (the stall algebra
+    // separates partitioned pairs); on top of those, fencing cascades
+    // and protocol-side power cuts observed in the trace — each closed
+    // by that cub's restart — justify the post-heal declarations a
+    // partitioned ring produces. Only probabilistic drops remain
+    // unmodellable: they silence pings without any interval to check
+    // coverage against.
+    let ring_observable = cfg.plan.links.iter().all(|l| l.drop_prob == 0.0);
+    let mut observed_stalls: Vec<ObservedStall> = Vec::new();
+    for rec in sys.tracer().records() {
+        match rec.ev {
+            TraceEvent::CubFenced { cub } | TraceEvent::PowerCut { cub } => {
+                observed_stalls.push(ObservedStall {
+                    cub,
+                    from: rec.at,
+                    until: SimTime::MAX,
+                });
+            }
+            TraceEvent::CubRestart { cub } => {
+                for s in observed_stalls.iter_mut().rev() {
+                    if s.cub == cub && s.until == SimTime::MAX {
+                        s.until = rec.at;
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Injected link delay/jitter stretches legitimate ping gaps.
+    let injected_delay = cfg
+        .plan
+        .links
+        .iter()
+        .map(|l| l.extra_delay + l.extra_jitter)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
     if ring_observable {
-        // Injected link delay/jitter stretches legitimate ping gaps.
-        let injected_delay = cfg
-            .plan
-            .links
-            .iter()
-            .map(|l| l.extra_delay + l.extra_jitter)
-            .max()
-            .unwrap_or(SimDuration::ZERO);
         let grace = cfg.tiger.deadman_interval + cfg.tiger.latency.worst_case() + injected_delay;
-        violations.extend(check_deadman_justified(
+        violations.extend(check_deadman_justified_with(
             &cfg.plan,
             topo,
             &declares,
+            &observed_stalls,
             cfg.tiger.deadman_timeout,
             grace,
         ));
@@ -217,6 +287,101 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             violations.push(format!(
                 "loss window {loss_window_secs:.3}s exceeds the single-failure bound {bound}",
             ));
+        }
+    }
+    // Invariant 5: rejoin convergence. The covering successor relays
+    // hand-back states as they come due, so a rejoined cub's first
+    // re-accepted slot must land within the hand-back window plus
+    // scheduling slack of its restart. Absence of `rejoin-done` is not a
+    // violation — an idle cub has nothing to re-accept — and freezes
+    // widen the bound by their longest window (the rejoiner or its
+    // partner may be frozen mid-handshake). Partitions and drops delay
+    // the relay unboundedly, so the bound is checked only on observable
+    // rings.
+    if ring_observable && cfg.plan.partitions.is_empty() {
+        let longest_freeze = cfg
+            .plan
+            .process
+            .iter()
+            .filter_map(|p| match p {
+                ProcessFault::Freeze { from, until, .. } => Some(until.saturating_since(*from)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let rejoin_bound = cfg.tiger.min_vstate_lead
+            + cfg.tiger.forward_interval.mul_u64(2)
+            + injected_delay
+            + longest_freeze
+            + SimDuration::from_secs(2);
+        let records = sys.tracer().records();
+        for rec in &records {
+            let TraceEvent::CubRestart { cub } = rec.ev else {
+                continue;
+            };
+            let done = records.iter().find(|r| {
+                r.at >= rec.at && matches!(r.ev, TraceEvent::RejoinDone { cub: c } if c == cub)
+            });
+            if let Some(done) = done {
+                let took = done.at.saturating_since(rec.at);
+                if took > rejoin_bound {
+                    violations.push(format!(
+                        "cub{cub} took {took} to re-accept a slot after its restart at {} \
+                         (rejoin bound {rejoin_bound})",
+                        rec.at
+                    ));
+                }
+            }
+        }
+    }
+    // Invariant 6: §6.4 restripe duration. A fault-free restripe must
+    // drain no faster than the raw bottleneck transfer (the floor) and
+    // no slower than the half-duty background estimate times a
+    // contention factor (foreground streams own the disk first) plus
+    // fixed admission slack. Plans that crash or partition mid-restripe
+    // park moves for arbitrary repair windows, so only quiet plans are
+    // held to the budget.
+    let quiet_restripe = !cfg.plan.restripes.is_empty()
+        && cfg.plan.process.is_empty()
+        && cfg.plan.partitions.is_empty()
+        && cfg.plan.disks.is_empty()
+        && cfg.plan.links.is_empty();
+    if let (Some((floor, budget)), true) = (restripe_estimate, quiet_restripe) {
+        let start = sys.tracer().records().iter().find_map(|r| match r.ev {
+            TraceEvent::RestripeStart { moves } => Some((r.at, moves)),
+            _ => None,
+        });
+        let cutover = sys.tracer().records().iter().find_map(|r| match r.ev {
+            TraceEvent::RestripeCutover { .. } => Some(r.at),
+            _ => None,
+        });
+        let bound = budget.mul_u64(3) + SimDuration::from_secs(20);
+        match (start, cutover) {
+            (Some((started, moves)), Some(cut)) if moves > 0 => {
+                let elapsed = cut.saturating_since(started);
+                if elapsed > bound {
+                    violations.push(format!(
+                        "restripe took {elapsed}, over the §6.4 budget {bound} \
+                         (half-duty estimate {budget})"
+                    ));
+                }
+                if elapsed < floor {
+                    violations.push(format!(
+                        "restripe finished in {elapsed}, faster than the raw \
+                         bottleneck transfer {floor} — blocks were not moved"
+                    ));
+                }
+            }
+            // A missing cut-over is only damning when the run gave the
+            // budget room to elapse; a horizon shorter than the budget
+            // simply did not watch long enough.
+            (Some((started, _)), None) if cfg.run_to.saturating_since(started) > bound => {
+                violations.push(
+                    "restripe never cut over on a fault-free run (moves are parked or lost)"
+                        .to_string(),
+                );
+            }
+            _ => {}
         }
     }
     // Omniscient checker + NIC/schedule asserts.
@@ -243,6 +408,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
 fn single_crash_bound(cfg: &ChaosConfig) -> Option<SimDuration> {
     let p = &cfg.plan;
     if !p.links.is_empty() || !p.partitions.is_empty() || !p.disks.is_empty() {
+        return None;
+    }
+    // A crash mid-restripe widens the window: the cut-over fences every
+    // viewer and re-inserts it at its high-water mark.
+    if !p.restripes.is_empty() {
         return None;
     }
     match p.process.as_slice() {
@@ -327,6 +497,68 @@ mod tests {
         assert!(out.trace.contains("cub-freeze"));
         assert!(out.trace.contains("cub-resume"));
         assert!(out.trace.contains("cub-fenced"), "zombie was not fenced");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn crash_and_restart_rejoins_within_bound() {
+        // A crash followed by a restart: the rejoin handshake must show
+        // in the trace, the convergence invariant must hold, and the
+        // fresh monitoring baseline must keep the rejoined cub from
+        // being re-declared dead.
+        let plan = FaultPlan::new()
+            .crash(1, SimTime::from_secs(20))
+            .restart(1, SimTime::from_secs(40));
+        let out = run_chaos(&ChaosConfig::quick(plan));
+        assert!(out.trace.contains("cub-restart"), "restart never traced");
+        assert!(
+            out.trace.contains("rejoin-done"),
+            "rejoined cub never re-accepted a slot"
+        );
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(
+            !out.declares
+                .iter()
+                .any(|d| d.failed == 1 && d.at > SimTime::from_secs(40)),
+            "rejoined cub re-declared dead after its restart"
+        );
+    }
+
+    #[test]
+    fn quiet_restripe_meets_the_duration_budget() {
+        // A fault-free mid-run restripe: the duration invariant (floor
+        // and §6.4 budget) and every streaming invariant must hold, and
+        // the cut-over must appear in the trace.
+        let plan = FaultPlan::new().restripe(SimTime::from_secs(10), 2);
+        let mut cfg = ChaosConfig::quick(plan);
+        cfg.run_to = SimTime::from_secs(200);
+        let out = run_chaos(&cfg);
+        assert!(out.trace.contains("restripe-start"));
+        assert!(
+            out.trace.contains("restripe-cutover"),
+            "restripe never cut over"
+        );
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.dup_blocks, 0, "cut-over re-served a block");
+    }
+
+    #[test]
+    fn crash_mid_restripe_resumes_after_restart() {
+        // A source cub dies with moves in flight and restarts later: the
+        // plan parks (restripe-stall allowed), resumes, and still cuts
+        // over; the duration budget is waived but every other invariant
+        // holds.
+        let plan = FaultPlan::new()
+            .restripe(SimTime::from_secs(10), 2)
+            .crash(1, SimTime::from_secs(12))
+            .restart(1, SimTime::from_secs(30));
+        let mut cfg = ChaosConfig::quick(plan);
+        cfg.run_to = SimTime::from_secs(200);
+        let out = run_chaos(&cfg);
+        assert!(
+            out.trace.contains("restripe-cutover"),
+            "crash mid-restripe lost the plan"
+        );
         assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 

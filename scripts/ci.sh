@@ -46,9 +46,13 @@ cmp "$FLEET_T1" "$FLEET_T2"
 # Chaos smoke: the fault-injection sweep must pass every Tiger invariant
 # (the bin exits non-zero on any violation) and, like the fleet, produce
 # bit-identical stdout at 1 and 2 worker threads (see docs/FAULTS.md).
+# The sweep includes the online-recovery scenarios — crash-rejoin,
+# double-fail-catchup (partner dies mid-handback), restripe-quiet, and
+# restripe-rejoin (crash + restart mid-restripe) — so this smoke gates
+# the rejoin and live-restripe protocols too (see docs/RECOVERY.md).
 # Fatal — a divergence means fault randomness leaked out of its RNG
 # subtree or an invariant broke.
-echo "== chaos smoke: quick sweep at 1 vs 2 threads" >&2
+echo "== chaos smoke: quick sweep (incl. rejoin/restripe) at 1 vs 2 threads" >&2
 cargo run --release -q -p tiger-bench --bin chaos -- \
     --scale quick --threads 1 > "$CHAOS_T1"
 cargo run --release -q -p tiger-bench --bin chaos -- \
@@ -70,6 +74,14 @@ cmp "$FLEET_T1" "$FLEET_TRACED"
 echo "== traced smoke: trace_timeline --demo vs results/trace_timeline_demo.txt" >&2
 cargo run --release -q -p tiger-bench --bin trace_timeline -- --demo > "$DEMO_OUT"
 cmp results/trace_timeline_demo.txt "$DEMO_OUT"
+
+# Golden rejoin timeline: the deterministic crash-then-restart scenario
+# must render exactly the checked-in recovery arc (power-cut, deadman
+# declaration, mirror takeover, cub-restart, hand-back grant,
+# rejoin-done). Fatal — it pins the rejoin protocol's event order.
+echo "== recovery smoke: trace_timeline --rejoin-demo vs results/trace_rejoin_timeline.txt" >&2
+cargo run --release -q -p tiger-bench --bin trace_timeline -- --rejoin-demo > "$DEMO_OUT"
+cmp results/trace_rejoin_timeline.txt "$DEMO_OUT"
 
 # Bench trajectory: compare fresh event-queue micro-benches against the
 # checked-in snapshot. Non-fatal — timing on shared CI hardware is too

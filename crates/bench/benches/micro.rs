@@ -323,6 +323,67 @@ fn bench_fault_check(c: &mut Runner) {
     });
 }
 
+fn bench_proto_step(c: &mut Runner) {
+    use tiger_proto::insert::AttemptDecision;
+    use tiger_proto::{InsertMachine, PendingStart, RingConfig, RingMachine};
+    // One step of each sans-io machine, as both drivers pay it (the DES
+    // per event, the socket driver per datagram/poll). These sit inside
+    // the protocol hot loops, so like the trace and fault hooks they
+    // must stay trivially cheap next to a disk read.
+    let cfg = RingConfig {
+        deadman_timeout: SimDuration::from_secs(20),
+        deadman_interval: SimDuration::from_secs(5),
+        min_vstate_lead: SimDuration::from_secs(4),
+    };
+    c.bench_function("proto_step/ring_ping", |b| {
+        let mut ring = RingMachine::new(tiger_layout::CubId(3), 14);
+        let pred = ring
+            .prev_living(tiger_layout::CubId(3))
+            .expect("ring of 14");
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_millis(5_000);
+            black_box(ring.on_ping(pred, t))
+        })
+    });
+    c.bench_function("proto_step/ring_check_quiet", |b| {
+        // The common case: every predecessor heartbeat arrived, the poll
+        // returns no verdict.
+        let mut ring = RingMachine::new(tiger_layout::CubId(3), 14);
+        let pred = ring
+            .prev_living(tiger_layout::CubId(3))
+            .expect("ring of 14");
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_millis(5_000);
+            ring.on_ping(pred, t);
+            black_box(ring.poll_check(t, &cfg))
+        })
+    });
+    c.bench_function("proto_step/insert_route_commit", |b| {
+        // Enqueue one routed start and drive the attempt to a commit —
+        // the full machine-side cost of a §4.1.3 insertion.
+        let mut ins = InsertMachine::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let p = PendingStart {
+                instance: ViewerInstance {
+                    viewer: ViewerId(i),
+                    incarnation: 0,
+                },
+                client: 1,
+                file: FileId(3),
+                from_block: BlockNum(0),
+                requested_at: SimTime::from_nanos(i),
+            };
+            ins.on_routed_start(p, false, false);
+            ins.attempt_due();
+            black_box(ins.attempt(|_| AttemptDecision::Commit))
+        })
+    });
+}
+
 fn bench_disk_model(c: &mut Runner) {
     use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
     use tiger_sim::RngTree;
@@ -359,6 +420,7 @@ fn main() {
     bench_event_queue(&mut c);
     bench_trace(&mut c);
     bench_fault_check(&mut c);
+    bench_proto_step(&mut c);
     bench_disk_model(&mut c);
     c.finish();
 }

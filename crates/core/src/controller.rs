@@ -6,6 +6,11 @@
 //! block (and its successor, for redundancy), routes stop requests to the
 //! cub currently serving the viewer, and does *no* per-block work — which
 //! is what keeps its load flat as the system grows.
+//!
+//! The controller's ring-membership view lives in a sans-io
+//! `tiger_proto::Membership` held by `TigerSystem` (see
+//! `docs/PROTOCOL.md`); this module only keeps the viewer table and
+//! request counters that the routing decisions read.
 
 use std::collections::HashMap;
 

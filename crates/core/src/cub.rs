@@ -14,6 +14,7 @@ use tiger_sim::{DetHashMap as HashMap, DetHashSet as HashSet};
 use tiger_disk::{DiskError, DiskRequest, RequestKind};
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::{BlockIndex, BlockNum, CubId, DiskId, DiskSpace, FileId};
+use tiger_proto::{InsertMachine, RingConfig, RingMachine};
 use tiger_sched::view::ViewApply;
 use tiger_sched::{Deschedule, ScheduleView, SlotId, StreamKind, ViewerState};
 use tiger_sim::{Counter, SimDuration, SimTime};
@@ -24,20 +25,15 @@ use crate::event::{Event, ServiceToken};
 use crate::msg::Message;
 use crate::system::Shared;
 
-/// A queued start request (§4.1.3).
-#[derive(Clone, Copy, Debug)]
-pub struct PendingStart {
-    /// The viewer instance to start.
-    pub instance: ViewerInstance,
-    /// The client's network node id.
-    pub client: u32,
-    /// The file to play.
-    pub file: FileId,
-    /// First block to play (0 from the beginning; seeks/resumes start
-    /// mid-file).
-    pub from_block: BlockNum,
-    /// When the client asked (latency measurement).
-    pub requested_at: SimTime,
+pub use tiger_proto::insert::PendingStart;
+
+/// The ring machine's timing constants, as this driver configures them.
+fn ring_cfg(sh: &Shared) -> RingConfig {
+    RingConfig {
+        deadman_timeout: sh.cfg.deadman_timeout,
+        deadman_interval: sh.cfg.deadman_interval,
+        min_vstate_lead: sh.cfg.min_vstate_lead,
+    }
 }
 
 /// Key identifying one active service on this cub.
@@ -156,13 +152,14 @@ pub struct Cub {
     /// Blocks for which this cub (as acting successor) already created
     /// mirror viewer states, to make creation idempotent.
     mirrors_created: HashSet<(SlotId, ViewerInstance, u32)>,
-    start_queue: Vec<PendingStart>,
-    redundant_starts: Vec<PendingStart>,
-    attempt_scheduled: bool,
-    /// Which cubs this cub believes have failed.
-    believed_failed: Vec<bool>,
-    /// Last time anything was heard from each cub (deadman input).
-    last_heard: Vec<SimTime>,
+    /// The sans-io insertion machine: queued and redundant starts, and
+    /// the one-armed attempt timer (`tiger_proto::insert`).
+    ins: InsertMachine,
+    /// The sans-io ring machine: failure beliefs, deadman clocks, rejoin
+    /// horizons, and the hand-back window (`tiger_proto::ring`). This
+    /// struct is the DES *driver* for it: machine verdicts become event
+    /// schedules, simulated sends, and trace records here.
+    ring: RingMachine,
     /// Read-ahead buffer bytes in use (bounded by the buffer cache).
     buffer_bytes_in_use: u64,
     /// Recently buffered blocks, newest last (the buffer cache doubles as
@@ -193,18 +190,6 @@ pub struct Cub {
     /// instant, taken (and traced as convergence) on the first primary
     /// service acceptance of the new life.
     rejoined_at: Option<SimTime>,
-    /// Open mirror hand-back window: `(rejoiner, until)`. While it is
-    /// open, this cub — the mirror partner that covered the rejoiner's
-    /// disks — relays shadowed records for those disks directly to the
-    /// rejoiner, warming its empty view faster than ring propagation
-    /// alone (receipt idempotence makes the extra copies safe).
-    handback: Option<(CubId, SimTime)>,
-    /// Per-cub "recently rejoined until" horizon. A record addressed to a
-    /// rejoiner but held by its old covering partner dies if that partner
-    /// crashes before the rejoiner re-acquires the stream; within this
-    /// horizon a failure takeover also re-sends shadows addressed to the
-    /// rejoiner straight to it (idempotent, so over-sending is safe).
-    rejoin_until: Vec<SimTime>,
 }
 
 impl Cub {
@@ -226,11 +211,8 @@ impl Cub {
             next_token: 0,
             shadows: HashMap::default(),
             mirrors_created: HashSet::default(),
-            start_queue: Vec::new(),
-            redundant_starts: Vec::new(),
-            attempt_scheduled: false,
-            believed_failed: vec![false; num_cubs as usize],
-            last_heard: vec![SimTime::ZERO; num_cubs as usize],
+            ins: InsertMachine::new(),
+            ring: RingMachine::new(id, num_cubs),
             buffer_bytes_in_use: 0,
             cache_resident: std::collections::VecDeque::new(),
             cache_hits: Counter::new(),
@@ -241,8 +223,6 @@ impl Cub {
             msgs_processed: Counter::new(),
             eof_sent: HashSet::default(),
             rejoined_at: None,
-            handback: None,
-            rejoin_until: vec![SimTime::ZERO; num_cubs as usize],
         }
     }
 
@@ -305,7 +285,7 @@ impl Cub {
 
     /// Queued (not yet inserted) start requests.
     pub fn queued_starts(&self) -> usize {
-        self.start_queue.len()
+        self.ins.queued()
     }
 
     /// Total schedule information currently held: live view entries,
@@ -333,29 +313,23 @@ impl Cub {
 
     /// Whether this cub currently believes `cub` is failed.
     pub fn believes_failed(&self, cub: CubId) -> bool {
-        self.believed_failed[cub.index()]
+        self.ring.believes_failed(cub)
     }
 
-    // --- Ring helpers ----------------------------------------------------
+    // --- Ring helpers (delegated to the sans-io ring machine) -------------
 
     fn next_living(&self, from: CubId) -> Option<CubId> {
-        let n = self.believed_failed.len() as u32;
-        (1..n)
-            .map(|i| CubId((from.raw() + i) % n))
-            .find(|c| !self.believed_failed[c.index()])
+        self.ring.next_living(from)
     }
 
     fn prev_living(&self, from: CubId) -> Option<CubId> {
-        let n = self.believed_failed.len() as u32;
-        (1..n)
-            .map(|i| CubId((from.raw() + n - i) % n))
-            .find(|c| !self.believed_failed[c.index()])
+        self.ring.prev_living(from)
     }
 
     /// Whether this cub is the acting successor for `failed` (the first
     /// living cub after it).
     fn acting_successor_of(&self, failed: CubId) -> bool {
-        self.next_living(failed) == Some(self.id)
+        self.ring.acting_successor_of(failed)
     }
 
     // --- Message entry point ----------------------------------------------
@@ -398,8 +372,7 @@ impl Cub {
                 );
             }
             Message::DeadmanPing { from } => {
-                self.last_heard[from.index()] = now;
-                if self.believed_failed[from.index()] {
+                if self.ring.on_ping(from, now) {
                     // A ping from a cub this cub already declared dead:
                     // a stalled process resumed (a zombie). Tell it so it
                     // fences itself off — its streams were taken over,
@@ -419,7 +392,7 @@ impl Cub {
             Message::RejoinAck { from, failed } => {
                 // A ring neighbour's bounded-view exchange: merge its
                 // failure beliefs (this cub restarted knowing nothing).
-                self.last_heard[from.index()] = now;
+                self.ring.heard_from(from, now);
                 for &c in failed.iter() {
                     if c != self.id.raw() {
                         self.declare_failed(sh, now, CubId(c));
@@ -435,29 +408,17 @@ impl Cub {
     /// A crashed neighbour announces it is back (§4 ownership insertion
     /// restores its slots; this message restores the ring bookkeeping).
     fn on_rejoin_request(&mut self, sh: &mut Shared, now: SimTime, from: CubId) {
-        if from == self.id {
+        // The machine clears the belief, opens the rejoiner's
+        // vulnerability horizon, and re-baselines deadman monitoring;
+        // its outcome says what this driver owes the rejoiner.
+        let Some(outcome) = self.ring.on_rejoin_request(from, now, &ring_cfg(sh)) else {
             return;
-        }
-        let was_covering = self.believed_failed[from.index()] && self.acting_successor_of(from);
-        self.believed_failed[from.index()] = false;
-        self.last_heard[from.index()] = now;
-        // Vulnerability horizon: until the rejoiner has re-acquired every
-        // stream (one schedule lead) and any covering partner's death
-        // would be detected, remember that it just rejoined.
-        self.rejoin_until[from.index()] = now
-            + sh.cfg.min_vstate_lead
-            + sh.cfg.deadman_timeout
-            + sh.cfg.deadman_interval.mul_u64(2);
-        // The ring just changed back: re-baseline predecessor monitoring
-        // exactly as a failure declaration does.
-        self.reset_pred_baseline(now);
+        };
         // Ring neighbours reply with their current beliefs so the
         // rejoiner learns about other failures without waiting a full
         // deadman timeout per dead cub.
-        if self.next_living(from) == Some(self.id) || self.prev_living(from) == Some(self.id) {
-            let failed: Vec<u32> = (0..self.believed_failed.len() as u32)
-                .filter(|&c| self.believed_failed[c as usize])
-                .collect();
+        if outcome.should_ack {
+            let failed = self.ring.failed_ids();
             let me = sh.cub_node(self.id);
             sh.send_control(
                 now,
@@ -469,7 +430,7 @@ impl Cub {
                 },
             );
         }
-        if was_covering {
+        if outcome.was_covering {
             self.grant_handback(sh, now, from);
         }
     }
@@ -510,7 +471,7 @@ impl Cub {
                 count: grant.len() as u32,
             },
         );
-        self.handback = Some((to, now + sh.cfg.min_vstate_lead));
+        self.ring.open_handback(to, now, &ring_cfg(sh));
         if !grant.is_empty() {
             let me = sh.cub_node(self.id);
             let batch: std::sync::Arc<[ViewerState]> = grant.into();
@@ -523,7 +484,7 @@ impl Cub {
     fn on_viewer_state(&mut self, sh: &mut Shared, now: SimTime, vs: ViewerState) {
         // Any sighting of a viewer state supersedes a redundant start we
         // might be holding for the same instance.
-        self.redundant_starts.retain(|p| p.instance != vs.instance);
+        self.ins.superseded_by_sighting(&vs.instance);
 
         match vs.kind {
             StreamKind::Primary => self.on_primary_state(sh, now, vs),
@@ -577,7 +538,7 @@ impl Cub {
 
         if loc.cub == self.id {
             self.accept_service(sh, now, vs, loc.disk);
-        } else if self.believed_failed[loc.cub.index()] && self.acting_successor_of(loc.cub) {
+        } else if self.ring.believes_failed(loc.cub) && self.acting_successor_of(loc.cub) {
             self.cover_failed_disk(sh, now, vs, loc.disk);
         } else {
             // Redundancy copy: shadow it until it is superseded or stale.
@@ -598,13 +559,9 @@ impl Cub {
             // Open hand-back window: relay records for the rejoiner's
             // disks straight to it while its own lead pipeline warms up
             // (receipt idempotence makes the extra copy safe).
-            if let Some((hb, until)) = self.handback {
-                if now >= until {
-                    self.handback = None;
-                } else if loc.cub == hb {
-                    let me = sh.cub_node(self.id);
-                    sh.send_control(now, me, sh.cub_node(hb), Message::ViewerState(vs));
-                }
+            if self.ring.handback_relay(loc.cub, now) {
+                let me = sh.cub_node(self.id);
+                sh.send_control(now, me, sh.cub_node(loc.cub), Message::ViewerState(vs));
             }
         }
     }
@@ -837,7 +794,7 @@ impl Cub {
         // only dead holders count as losses).
         for j in expected_piece..piece {
             let holder_cub = stripe.cub_of(stripe.disk_after(failed_disk, j + 1));
-            if self.believed_failed[holder_cub.index()] {
+            if self.ring.believes_failed(holder_cub) {
                 sh.metrics.loss.failover_lost += 1;
             }
         }
@@ -1495,8 +1452,7 @@ impl Cub {
         );
         // Drop matching shadows and queued starts.
         self.shadows.retain(|_, s| !d.matches(&s.vs));
-        self.start_queue.retain(|p| p.instance != d.instance);
-        self.redundant_starts.retain(|p| p.instance != d.instance);
+        self.ins.drop_instance(&d.instance);
         // Forward on first sighting, immediately (§4.1.2: deschedules are
         // not batched; they must outrun viewer states).
         if first_sighting && hops_left > 0 {
@@ -1525,25 +1481,10 @@ impl Cub {
         pending: PendingStart,
         redundant: bool,
     ) {
-        if redundant {
-            if !self
-                .redundant_starts
-                .iter()
-                .any(|p| p.instance == pending.instance)
-            {
-                self.redundant_starts.push(pending);
-            }
-            return;
+        let carried = self.carries_instance(&pending.instance);
+        if self.ins.on_routed_start(pending, redundant, carried) {
+            self.schedule_insert_attempt(sh, now + SimDuration::from_nanos(1));
         }
-        if !self
-            .start_queue
-            .iter()
-            .any(|p| p.instance == pending.instance)
-            && !self.carries_instance(&pending.instance)
-        {
-            self.start_queue.push(pending);
-        }
-        self.schedule_insert_attempt(sh, now + SimDuration::from_nanos(1));
     }
 
     /// Whether this cub already carries schedule state for `instance` —
@@ -1575,8 +1516,7 @@ impl Cub {
     }
 
     fn schedule_insert_attempt(&mut self, sh: &mut Shared, at: SimTime) {
-        if !self.attempt_scheduled {
-            self.attempt_scheduled = true;
+        if self.ins.arm_attempt() {
             sh.queue.schedule(
                 at.max(sh.queue.now()),
                 Event::InsertAttempt { cub: self.id },
@@ -1594,12 +1534,12 @@ impl Cub {
 
     /// Attempts to insert queued starts into currently-owned empty slots.
     pub fn on_insert_attempt(&mut self, sh: &mut Shared, now: SimTime) {
-        self.attempt_scheduled = false;
+        self.ins.attempt_due();
         if self.failed {
             return;
         }
         let mut remaining: Vec<PendingStart> = Vec::new();
-        let queue = std::mem::take(&mut self.start_queue);
+        let queue = self.ins.take_queue();
         for pending in queue {
             let Some(d0) = self.start_disk(sh, &pending) else {
                 continue; // Unknown file or out-of-range block: drop it.
@@ -1608,7 +1548,7 @@ impl Cub {
             // the acting successor of d0's dead cub.
             let d0_cub = sh.params.stripe().cub_of(d0);
             let responsible = d0_cub == self.id
-                || (self.believed_failed[d0_cub.index()] && self.acting_successor_of(d0_cub));
+                || (self.ring.believes_failed(d0_cub) && self.acting_successor_of(d0_cub));
             if !responsible {
                 continue; // Another cub will run this insertion.
             }
@@ -1630,14 +1570,13 @@ impl Cub {
                 }
             }
         }
-        self.start_queue = remaining;
-        if !self.start_queue.is_empty() {
+        self.ins.requeue(remaining);
+        if let Some(head) = self.ins.head().copied() {
             // Retry when the next ownership window opens for the head's
             // start disk.
-            let head = self.start_queue[0];
             if let Some(d0) = self.start_disk(sh, &head) {
                 let dt = sh.params.time_to_next_ownership(d0, now) + SimDuration::from_nanos(1);
-                self.attempt_scheduled = true;
+                self.ins.arm_attempt();
                 sh.queue
                     .schedule(now + dt, Event::InsertAttempt { cub: self.id });
             }
@@ -1711,7 +1650,7 @@ impl Cub {
         if self.failed {
             return;
         }
-        if let Some(succ) = self.next_living(self.id) {
+        if let Some(succ) = self.ring.ping_target() {
             sh.tracer.record(
                 now,
                 self.id.raw(),
@@ -1731,50 +1670,30 @@ impl Cub {
         if self.failed {
             return;
         }
-        let Some(pred) = self.prev_living(self.id) else {
+        let Some((pred, silence)) = self.ring.poll_check(now, &ring_cfg(sh)) else {
             return;
         };
-        if pred == self.id {
-            return;
-        }
-        let silence = now.saturating_since(self.last_heard[pred.index()]);
-        if silence > sh.cfg.deadman_timeout {
-            sh.tracer.record(
-                now,
-                self.id.raw(),
-                TraceEvent::DeadmanDeclare {
-                    failed: pred.raw(),
-                    silence_ns: silence.as_nanos(),
-                },
-            );
-            sh.metrics.failure_detections.push((now, pred.raw()));
-            self.declare_failed(sh, now, pred);
-            // Tell everyone (including the controller).
-            let me = sh.cub_node(self.id);
-            let notice = Message::FailureNotice { failed: pred };
-            let num_cubs = self.believed_failed.len() as u32;
-            for c in 0..num_cubs {
-                let target = CubId(c);
-                if target != self.id && !self.believed_failed[target.index()] {
-                    sh.send_control(now, me, sh.cub_node(target), notice.clone());
-                }
-            }
-            sh.send_to_controllers(now, me, notice);
-        }
-    }
-
-    /// Re-baselines deadman monitoring of the current predecessor after a
-    /// ring-membership change (a failure declaration *or* a rejoin): the
-    /// new predecessor redirects its pings here only once it learns of the
-    /// change too. Measure its silence from this instant — otherwise a
-    /// takeover instantly declares a never-heard-from predecessor with an
-    /// epoch-sized silence claim.
-    fn reset_pred_baseline(&mut self, now: SimTime) {
-        if let Some(p) = self.prev_living(self.id) {
-            if p != self.id {
-                self.last_heard[p.index()] = self.last_heard[p.index()].max(now);
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::DeadmanDeclare {
+                failed: pred.raw(),
+                silence_ns: silence.as_nanos(),
+            },
+        );
+        sh.metrics.failure_detections.push((now, pred.raw()));
+        self.declare_failed(sh, now, pred);
+        // Tell everyone (including the controller).
+        let me = sh.cub_node(self.id);
+        let notice = Message::FailureNotice { failed: pred };
+        let num_cubs = self.ring.num_cubs();
+        for c in 0..num_cubs {
+            let target = CubId(c);
+            if target != self.id && !self.ring.believes_failed(target) {
+                sh.send_control(now, me, sh.cub_node(target), notice.clone());
             }
         }
+        sh.send_to_controllers(now, me, notice);
     }
 
     fn on_failure_notice(&mut self, sh: &mut Shared, now: SimTime, failed: CubId) {
@@ -1797,7 +1716,7 @@ impl Cub {
     }
 
     fn declare_failed(&mut self, sh: &mut Shared, now: SimTime, failed: CubId) {
-        if self.believed_failed[failed.index()] || failed == self.id {
+        if self.ring.believes_failed(failed) || failed == self.id {
             return;
         }
         sh.tracer.record(
@@ -1807,8 +1726,7 @@ impl Cub {
                 failed: failed.raw(),
             },
         );
-        self.believed_failed[failed.index()] = true;
-        self.reset_pred_baseline(now);
+        self.ring.declare_failed(failed, now);
         // §2.3 gap bridging: "If two or more consecutive cubs are failed,
         // the preceding living cub will send scheduling information to the
         // succeeding living cub." Re-send the advanced copy of every
@@ -1824,7 +1742,7 @@ impl Cub {
                 sh.catalog
                     .locate(next.file, next.position)
                     .is_some_and(|loc| {
-                        self.believed_failed[loc.cub.index()]
+                        self.ring.believes_failed(loc.cub)
                             && self.prev_living(loc.cub) == Some(self.id)
                     })
             })
@@ -1844,7 +1762,7 @@ impl Cub {
             let into_gap = sh
                 .catalog
                 .locate(next.file, next.position)
-                .is_some_and(|loc| self.believed_failed[loc.cub.index()]);
+                .is_some_and(|loc| self.ring.believes_failed(loc.cub));
             if into_gap {
                 e.forwarded = false;
                 reforward = true;
@@ -1902,27 +1820,13 @@ impl Cub {
             },
         );
         let stripe = sh.params.stripe();
-        let promote: Vec<PendingStart> = self
-            .redundant_starts
-            .iter()
-            .filter(|p| {
-                sh.catalog
-                    .get(p.file)
-                    .is_some_and(|m| stripe.cub_of(m.start_disk) == failed)
-            })
-            .copied()
-            .collect();
-        self.redundant_starts.retain(|p| {
-            sh.catalog
+        let catalog = &sh.catalog;
+        self.ins.promote_where(|p| {
+            catalog
                 .get(p.file)
-                .is_none_or(|m| stripe.cub_of(m.start_disk) != failed)
+                .is_some_and(|m| stripe.cub_of(m.start_disk) == failed)
         });
-        for p in promote {
-            if !self.start_queue.iter().any(|q| q.instance == p.instance) {
-                self.start_queue.push(p);
-            }
-        }
-        if !self.start_queue.is_empty() {
+        if self.ins.queued() > 0 {
             self.schedule_insert_attempt(sh, now + SimDuration::from_nanos(1));
         }
         // Re-drive shadowed schedule information addressed to *any* cub we
@@ -1938,7 +1842,7 @@ impl Cub {
                 sh.catalog
                     .locate(s.vs.file, s.vs.position)
                     .is_some_and(|loc| {
-                        self.believed_failed[loc.cub.index()] && self.acting_successor_of(loc.cub)
+                        self.ring.believes_failed(loc.cub) && self.acting_successor_of(loc.cub)
                     })
             })
             .map(|s| s.vs)
@@ -1961,8 +1865,8 @@ impl Cub {
                     .locate(s.vs.file, s.vs.position)
                     .is_some_and(|loc| {
                         loc.cub != self.id
-                            && !self.believed_failed[loc.cub.index()]
-                            && now < self.rejoin_until[loc.cub.index()]
+                            && !self.ring.believes_failed(loc.cub)
+                            && self.ring.recently_rejoined(loc.cub, now)
                     })
             })
             .map(|s| (s.vs, s.due))
@@ -1976,7 +1880,7 @@ impl Cub {
         // that position's owner — the same skip-to-reachable move the
         // §2.3 gap bridge makes, with the skipped blocks as bounded loss.
         let bpt = sh.params.block_play_time();
-        let ring = self.believed_failed.len() as u32;
+        let ring = self.ring.num_cubs();
         let me = sh.cub_node(self.id);
         for (vs, due) in to_rejoiner {
             let behind = now.saturating_since(due);
@@ -1990,7 +1894,7 @@ impl Cub {
                 let Some(loc) = sh.catalog.locate(cand.file, cand.position) else {
                     break; // Past end-of-file: the stream was finishing.
                 };
-                if self.believed_failed[loc.cub.index()] {
+                if self.ring.believes_failed(loc.cub) {
                     k += 1; // Owner still dead: its block is lost; skip on.
                     continue;
                 }
@@ -2014,8 +1918,7 @@ impl Cub {
         self.by_key.clear();
         self.view = ScheduleView::new();
         self.shadows.clear();
-        self.start_queue.clear();
-        self.redundant_starts.clear();
+        self.ins.clear_queues();
         self.retired_log.clear();
         self.buffer_bytes_in_use = 0;
     }
@@ -2037,26 +1940,15 @@ impl Cub {
         self.by_key.clear();
         self.view = ScheduleView::new();
         self.shadows.clear();
-        self.start_queue.clear();
-        self.redundant_starts.clear();
         self.retired_log.clear();
         self.mirrors_created.clear();
         self.cache_resident.clear();
         self.buffer_bytes_in_use = 0;
-        self.attempt_scheduled = false;
-        self.handback = None;
+        self.ins.reset();
         // A restarted process knows nothing about who is down; it assumes
         // the full striped ring is alive (spares stay marked failed — they
         // are not ring members) and learns real failures from RejoinAcks.
-        for (i, b) in self.believed_failed.iter_mut().enumerate() {
-            *b = i as u32 >= striped_cubs;
-        }
-        for t in &mut self.last_heard {
-            *t = now;
-        }
-        for t in &mut self.rejoin_until {
-            *t = SimTime::ZERO;
-        }
+        self.ring.restart(now, striped_cubs);
         self.rejoined_at = Some(now);
     }
 
@@ -2088,7 +1980,7 @@ impl Cub {
     /// (construction-time marking of spare cubs, which are not ring
     /// members until a restripe cut-over activates them).
     pub(crate) fn mark_believed_failed(&mut self, cub: CubId) {
-        self.believed_failed[cub.index()] = true;
+        self.ring.mark_believed_failed(cub);
     }
 
     /// Installs the restriper's post-cut-over ring map: belief vectors grow
@@ -2096,9 +1988,7 @@ impl Cub {
     /// truth (the cut-over barrier is the one moment the restriper knows
     /// it). Deadman baselines restart from this instant.
     pub(crate) fn set_ring_state(&mut self, failed: &[bool], now: SimTime) {
-        self.believed_failed = failed.to_vec();
-        self.last_heard = vec![now; failed.len()];
-        self.rejoin_until = vec![SimTime::ZERO; failed.len()];
+        self.ring.set_ring_state(failed, now);
     }
 
     /// The schedule half of a live-restripe cut-over: kill every service
@@ -2128,12 +2018,11 @@ impl Cub {
             self.view.apply_deschedule(d, now, hold_until);
         }
         self.shadows.clear();
-        self.start_queue.clear();
-        self.redundant_starts.clear();
+        self.ins.clear_queues();
         self.retired_log.clear();
         self.mirrors_created.clear();
         self.eof_sent.clear();
-        self.handback = None;
+        self.ring.clear_handback();
     }
 }
 

@@ -1,4 +1,10 @@
 //! Simulation events.
+//!
+//! These are *driver-side* inputs: the DES translates each one into
+//! typed messages or timer expiries for the sans-io machines in
+//! `tiger_proto` (the thread/socket driver in `tiger-rt` feeds the same
+//! machines from real sockets and wall-clock deadlines instead — see
+//! `docs/PROTOCOL.md` for the driver contract).
 
 use tiger_layout::CubId;
 use tiger_net::NetNode;

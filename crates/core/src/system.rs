@@ -23,6 +23,7 @@ use crate::cub::Cub;
 use crate::event::Event;
 use crate::metrics::{Metrics, WindowSample};
 use crate::msg::Message;
+use tiger_proto::Membership;
 
 /// State shared by all component handlers: the event queue, the network,
 /// static configuration, and measurement sinks.
@@ -169,8 +170,9 @@ pub struct TigerSystem {
     controller: Controller,
     clients: Vec<Client>,
     cpu: CpuModel,
-    /// The controller's failure beliefs (for routing around dead cubs).
-    controller_believes_failed: Vec<bool>,
+    /// The controller's failure beliefs (for routing around dead cubs) —
+    /// the same sans-io [`Membership`] vector the cubs' ring machines use.
+    controller_believes_failed: Membership,
     /// Hot-standby controller state, mirrored from the cubs' notices.
     backup: Controller,
     /// Where clients currently address controller requests.
@@ -269,7 +271,7 @@ impl TigerSystem {
             clients,
             cpu: CpuModel::pentium133(),
             // The controller, too, routes around spares until cut-over.
-            controller_believes_failed: (0..num_cubs).map(|c| c >= cfg_striped).collect(),
+            controller_believes_failed: Membership::with_spares(num_cubs, cfg_striped),
             backup: Controller::new(),
             active_controller: NetNode(0),
             promoted: false,
@@ -852,7 +854,7 @@ impl TigerSystem {
         for cub in &mut self.cubs {
             cub.set_ring_state(&failed_map, now);
         }
-        self.controller_believes_failed.clone_from(&failed_map);
+        self.controller_believes_failed.reset_from(&failed_map);
         for j in old.num_cubs..new.num_cubs {
             let cub = CubId(j);
             let next_fwd = now + self.shared.cfg.forward_interval;
@@ -1185,10 +1187,10 @@ impl TigerSystem {
                 self.backup.on_viewer_finished(instance);
             }
             Message::FailureNotice { failed } => {
-                self.controller_believes_failed[failed.index()] = true;
+                self.controller_believes_failed.set_failed(failed, true);
             }
             Message::RejoinRequest { from } => {
-                self.controller_believes_failed[from.index()] = false;
+                self.controller_believes_failed.set_failed(from, false);
             }
             _ => {}
         }
@@ -1310,11 +1312,11 @@ impl TigerSystem {
                 self.controller.on_viewer_finished(instance);
             }
             Message::FailureNotice { failed } => {
-                self.controller_believes_failed[failed.index()] = true;
+                self.controller_believes_failed.set_failed(failed, true);
             }
             Message::RejoinRequest { from } => {
                 // A restarted cub is routable again.
-                self.controller_believes_failed[from.index()] = false;
+                self.controller_believes_failed.set_failed(from, false);
             }
             other => {
                 debug_assert!(false, "controller received unexpected message: {other:?}");
@@ -1324,18 +1326,13 @@ impl TigerSystem {
 
     /// The first living cub at or after `cub`, per the controller's beliefs.
     fn routed_target(&self, cub: CubId) -> CubId {
-        let n = self.shared.cfg.stripe.num_cubs;
-        (0..n)
-            .map(|i| CubId((cub.raw() + i) % n))
-            .find(|c| !self.controller_believes_failed[c.index()])
-            .unwrap_or(cub)
+        self.controller_believes_failed
+            .first_living_at(cub, self.shared.cfg.stripe.num_cubs)
     }
 
     fn next_living_for_controller(&self, from: CubId) -> Option<CubId> {
-        let n = self.shared.cfg.stripe.num_cubs;
-        (1..n)
-            .map(|i| CubId((from.raw() + i) % n))
-            .find(|c| !self.controller_believes_failed[c.index()])
+        self.controller_believes_failed
+            .next_living_within(from, self.shared.cfg.stripe.num_cubs)
     }
 
     /// §4.1.2: deschedules propagate "until they're more than maxVStateLead

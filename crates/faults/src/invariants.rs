@@ -130,6 +130,59 @@ fn partitions_separating(
         .collect()
 }
 
+/// The probability that a probabilistic-drop window silences a ping pair
+/// for longer than the deadman timeout: every ping that should land in a
+/// timeout-sized window must drop, and with pings every `ping_interval`
+/// that is `timeout / ping_interval` consecutive drops (at least one).
+/// Using the floor is conservative — fewer assumed pings means a higher
+/// silence probability, so borderline windows err toward "this drop
+/// clause could have caused the declaration".
+pub fn silence_probability(
+    drop_prob: f64,
+    timeout: SimDuration,
+    ping_interval: SimDuration,
+) -> f64 {
+    if drop_prob <= 0.0 {
+        return 0.0;
+    }
+    let pings = if ping_interval == SimDuration::ZERO {
+        1
+    } else {
+        timeout.div_duration(ping_interval).max(1)
+    };
+    drop_prob.powi(pings.min(i32::MAX as u64) as i32)
+}
+
+/// The intervals during which a probabilistic-drop clause could
+/// plausibly have silenced `cub`'s pings toward `observer`: every link
+/// window matching the pair whose [`silence_probability`] is at least
+/// `min_prob`. Windows below the threshold are *excluded* — a declare
+/// during a 0.1%-drop window is still a live cub declared dead, not an
+/// unlucky ping streak (at `min_prob = 1e-9` the whole campaign would
+/// see such a streak once per ~billion windows).
+pub fn drop_silence_intervals(
+    plan: &FaultPlan,
+    topo: Topology,
+    cub: u32,
+    observer: u32,
+    timeout: SimDuration,
+    ping_interval: SimDuration,
+    min_prob: f64,
+) -> Intervals {
+    let mut out = Intervals::new();
+    let cub_node = topo.cub_node(cub);
+    let obs_node = topo.cub_node(observer);
+    for l in &plan.links {
+        if topo.matches(l.src, cub_node)
+            && topo.matches(l.dst, obs_node)
+            && silence_probability(l.drop_prob, timeout, ping_interval) >= min_prob
+        {
+            out.add(l.from, l.until);
+        }
+    }
+    out
+}
+
 /// One observed deadman declaration, lifted out of the trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ObservedDeclare {
@@ -197,6 +250,48 @@ pub fn check_deadman_justified_with(
     timeout: SimDuration,
     grace: SimDuration,
 ) -> Vec<String> {
+    check_justified_inner(plan, topo, declares, extra, timeout, grace, None)
+}
+
+/// [`check_deadman_justified_with`] under probabilistic drops: instead of
+/// skipping the invariant when a plan has `drop prob=` clauses, model the
+/// per-pair silence probability. A drop window matching the declared pair
+/// whose [`silence_probability`] reaches `min_prob` counts as a stall
+/// interval (dropped pings plausibly caused the silence); windows below
+/// the threshold do not, so a declaration they "explain" is still flagged
+/// as a live cub declared dead. `ping_interval` is the heartbeat period
+/// the probability model divides the timeout by.
+#[allow(clippy::too_many_arguments)]
+pub fn check_deadman_justified_probabilistic(
+    plan: &FaultPlan,
+    topo: Topology,
+    declares: &[ObservedDeclare],
+    extra: &[ObservedStall],
+    timeout: SimDuration,
+    ping_interval: SimDuration,
+    grace: SimDuration,
+    min_prob: f64,
+) -> Vec<String> {
+    check_justified_inner(
+        plan,
+        topo,
+        declares,
+        extra,
+        timeout,
+        grace,
+        Some((ping_interval, min_prob)),
+    )
+}
+
+fn check_justified_inner(
+    plan: &FaultPlan,
+    topo: Topology,
+    declares: &[ObservedDeclare],
+    extra: &[ObservedStall],
+    timeout: SimDuration,
+    grace: SimDuration,
+    drops: Option<(SimDuration, f64)>,
+) -> Vec<String> {
     let mut violations = Vec::new();
     for d in declares {
         if d.silence <= timeout {
@@ -209,6 +304,20 @@ pub fn check_deadman_justified_with(
         let mut stalls = stall_intervals(plan, topo, d.failed, d.declarer);
         for s in extra.iter().filter(|s| s.cub == d.failed) {
             stalls.add(s.from, s.until);
+        }
+        if let Some((ping_interval, min_prob)) = drops {
+            let windows = drop_silence_intervals(
+                plan,
+                topo,
+                d.failed,
+                d.declarer,
+                timeout,
+                ping_interval,
+                min_prob,
+            );
+            for &(from, until) in windows.spans() {
+                stalls.add(from, until);
+            }
         }
         // A healed partition leaves the pair's failure views divergent:
         // each side declared the other dead, so the declared cub pings
@@ -461,6 +570,137 @@ mod tests {
             check_deadman_justified_with(&plan, topo, &[declare], &[other], timeout, grace).len(),
             1
         );
+    }
+
+    #[test]
+    fn silence_probability_compounds_per_ping() {
+        let timeout = d(2);
+        let interval = SimDuration::from_millis(500);
+        // Four pings must all drop: 0.5^4.
+        let p = silence_probability(0.5, timeout, interval);
+        assert!((p - 0.0625).abs() < 1e-12, "{p}");
+        // Heavier loss, same window.
+        assert!(silence_probability(0.9, timeout, interval) > p);
+        // No drops, no silence.
+        assert_eq!(silence_probability(0.0, timeout, interval), 0.0);
+        // Degenerate intervals still assume at least one ping.
+        assert_eq!(silence_probability(0.3, timeout, d(10)), 0.3);
+        assert_eq!(silence_probability(0.3, timeout, SimDuration::ZERO), 0.3);
+    }
+
+    #[test]
+    fn heavy_drop_windows_justify_declares_but_light_ones_do_not() {
+        let topo = Topology {
+            num_cubs: 4,
+            num_clients: 0,
+            backup_controller: false,
+        };
+        let timeout = d(2);
+        let interval = SimDuration::from_millis(500);
+        let grace = SimDuration::from_millis(600);
+        let min_prob = 1e-9;
+        let declare = ObservedDeclare {
+            at: t(8),
+            declarer: 2,
+            failed: 1,
+            silence: d(3),
+        };
+        // A 70%-drop window on the pair's ping link: silence probability
+        // 0.7^4 ≈ 0.24, far above threshold — the window is a plausible
+        // stall and the declaration passes.
+        let heavy = FaultPlan::new().drop_msgs(NodeSel::Cub(1), NodeSel::Cub(2), 0.7, t(4), t(9));
+        assert!(check_deadman_justified_probabilistic(
+            &heavy,
+            topo,
+            &[declare],
+            &[],
+            timeout,
+            interval,
+            grace,
+            min_prob,
+        )
+        .is_empty());
+        // The legacy gate would have skipped this plan entirely; the
+        // non-probabilistic checker flags the same declaration.
+        assert_eq!(
+            check_deadman_justified_with(&heavy, topo, &[declare], &[], timeout, grace).len(),
+            1
+        );
+        // A 0.1%-drop window: silence probability 1e-12, below threshold.
+        // Dropped pings cannot explain a full timeout of silence, so the
+        // declaration is still a live cub declared dead.
+        let light = FaultPlan::new().drop_msgs(NodeSel::Cub(1), NodeSel::Cub(2), 0.001, t(4), t(9));
+        let v = check_deadman_justified_probabilistic(
+            &light,
+            topo,
+            &[declare],
+            &[],
+            timeout,
+            interval,
+            grace,
+            min_prob,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("live cub"), "{}", v[0]);
+        // A heavy window on an unrelated link (controller-sourced, like
+        // the lossy-control scenario) never silences a cub pair.
+        let ctrl = FaultPlan::new().drop_msgs(NodeSel::Ctrl, NodeSel::Any, 0.9, t(4), t(9));
+        assert_eq!(
+            check_deadman_justified_probabilistic(
+                &ctrl,
+                topo,
+                &[declare],
+                &[],
+                timeout,
+                interval,
+                grace,
+                min_prob,
+            )
+            .len(),
+            1
+        );
+        // The drop window only covers its own span: a silence claim
+        // reaching outside the window is unjustified even at 70% drop.
+        let early = ObservedDeclare {
+            at: t(12),
+            silence: d(3),
+            ..declare
+        };
+        assert_eq!(
+            check_deadman_justified_probabilistic(
+                &heavy,
+                topo,
+                &[early],
+                &[],
+                timeout,
+                interval,
+                grace,
+                min_prob,
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn drop_silence_intervals_select_matching_windows() {
+        let topo = Topology {
+            num_cubs: 4,
+            num_clients: 0,
+            backup_controller: false,
+        };
+        let timeout = d(2);
+        let interval = SimDuration::from_millis(500);
+        let plan = FaultPlan::new()
+            .drop_msgs(NodeSel::Cub(1), NodeSel::Cub(2), 0.5, t(1), t(3))
+            .drop_msgs(NodeSel::Any, NodeSel::Cub(2), 0.5, t(5), t(7))
+            .drop_msgs(NodeSel::Cub(1), NodeSel::Cub(2), 0.001, t(10), t(12));
+        let iv = drop_silence_intervals(&plan, topo, 1, 2, timeout, interval, 1e-9);
+        // The wildcard source matches cub 1's node too; the light window
+        // is filtered by the probability threshold.
+        assert_eq!(iv.spans(), &[(t(1), t(3)), (t(5), t(7))]);
+        // The reverse direction matches neither clause.
+        assert!(drop_silence_intervals(&plan, topo, 2, 1, timeout, interval, 1e-9).is_empty());
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub use inject::{
     DiskFaults, DiskVerdict, NetFaults, NetInjection, NetInjectionKind, NetPerturb, ProcFaults,
 };
 pub use invariants::{
-    check_deadman_justified, check_deadman_justified_with, loss_window_bound, stall_intervals,
-    Intervals, ObservedDeclare, ObservedStall,
+    check_deadman_justified, check_deadman_justified_probabilistic, check_deadman_justified_with,
+    drop_silence_intervals, loss_window_bound, silence_probability, stall_intervals, Intervals,
+    ObservedDeclare, ObservedStall,
 };
 pub use plan::{
     DiskFault, DiskFaultKind, FaultPlan, FaultWindow, LinkFault, NodeSel, Partition, ProcessFault,

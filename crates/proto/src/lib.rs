@@ -1,0 +1,42 @@
+//! The sans-io protocol core of the Tiger reproduction.
+//!
+//! Everything in this crate is a *pure* state machine: inputs are typed
+//! messages and timer expiries, outputs are typed verdicts the caller —
+//! the *driver* — turns into sends, schedule actions, and timer re-arms.
+//! Nothing here touches a clock, a socket, an event queue, or a tracer;
+//! time enters only as `SimTime` arguments and leaves only as deadline
+//! values inside outputs. That boundary is what lets the same machines
+//! run under two very different drivers:
+//!
+//! * the deterministic discrete-event simulation in `tiger-core`
+//!   (`TigerSystem` and `Cub` feed the machines and interpret their
+//!   outputs against the simulated network and event queue), and
+//! * the real-transport driver in `tiger-rt` (OS threads, loopback UDP
+//!   sockets, wall-clock timers), whose protocol-decision sequence must
+//!   match the DES oracle seq-for-seq.
+//!
+//! Modules:
+//!
+//! * [`msg`] — the control-plane message vocabulary ([`Message`]).
+//! * [`wire`] — the lossless text wire format for [`Message`], used by
+//!   real transports and pinned by exhaustive round-trip tests.
+//! * [`ring`] — ring membership ([`Membership`]) and the failure
+//!   detector / rejoin machine ([`RingMachine`]): deadman pings and
+//!   checks, failure declaration, zombie fencing, rejoin baselines, and
+//!   the bounded mirror hand-back window.
+//! * [`insert`] — the ownership-window insertion machine
+//!   ([`InsertMachine`]): queued start requests, redundant-start
+//!   promotion, and the attempt/commit/miss cycle.
+//!
+//! See `docs/PROTOCOL.md` ("The sans-io core and its drivers") for the
+//! driver contract.
+
+pub mod insert;
+pub mod msg;
+pub mod ring;
+pub mod wire;
+
+pub use insert::{InsertMachine, PendingStart};
+pub use msg::{Message, FRAME_BYTES};
+pub use ring::{Membership, RejoinOutcome, RingConfig, RingMachine};
+pub use wire::{decode, encode};

@@ -17,10 +17,11 @@
 //!    claimed silence — declared by the plan (crashes, freezes,
 //!    partitions separating the pair) or observed in the run itself
 //!    (protocol-side fencing and power cuts, each closed by the cub's
-//!    restart; see [`tiger_faults::check_deadman_justified_with`]).
-//!    Partitioned rings are modeled, not skipped; only probabilistic
-//!    drops (which silence pings without any interval to point at) turn
-//!    the check off.
+//!    restart). Partitioned rings and probabilistic drops are both
+//!    modeled, not skipped: a drop window justifies a declaration only
+//!    when its per-pair silence probability — `drop_prob` compounded
+//!    over a timeout's worth of pings — is non-negligible (see
+//!    [`tiger_faults::check_deadman_justified_probabilistic`]).
 //! 3. **Schedule views stay within `maxVStateLead`** (plus the
 //!    declustered forwarding slack) on every living cub.
 //! 4. **Loss window bounded after a single clean failure**: when the
@@ -41,14 +42,23 @@
 
 use tiger_core::{TigerConfig, TigerSystem};
 use tiger_faults::{
-    check_deadman_justified_with, loss_window_bound, FaultPlan, ObservedDeclare, ObservedStall,
-    ProcessFault, Topology,
+    check_deadman_justified_probabilistic, loss_window_bound, FaultPlan, ObservedDeclare,
+    ObservedStall, ProcessFault, Topology,
 };
 use tiger_layout::{RestripePlan, StripeConfig};
 use tiger_sim::{Bandwidth, RngTree, SimDuration, SimTime};
 use tiger_trace::TraceEvent;
 
 use crate::catalog::{populate_catalog, CatalogSpec};
+
+/// The silence-probability threshold below which a probabilistic-drop
+/// window does *not* justify a deadman declaration: an all-pings-dropped
+/// streak rarer than one in a billion windows is treated as impossible,
+/// so a declaration during such a window is still a live cub declared
+/// dead. (For scale: the lossy-control scenario's 20% drop rate over the
+/// small system's four-ping timeout would sit at `0.2^4 = 1.6e-3`, nine
+/// orders of magnitude above the cut — heavy loss stays modeled.)
+const DROP_SILENCE_MIN_PROB: f64 = 1e-9;
 
 /// Configuration of one chaos run.
 #[derive(Clone, Debug)]
@@ -233,9 +243,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     // separates partitioned pairs); on top of those, fencing cascades
     // and protocol-side power cuts observed in the trace — each closed
     // by that cub's restart — justify the post-heal declarations a
-    // partitioned ring produces. Only probabilistic drops remain
-    // unmodellable: they silence pings without any interval to check
-    // coverage against.
+    // partitioned ring produces. Probabilistic drop windows are modeled
+    // rather than skipped: a window whose per-pair silence probability
+    // (`drop_prob` compounded over the timeout's worth of pings) reaches
+    // `DROP_SILENCE_MIN_PROB` counts as a plausible stall for the pair;
+    // anything rarer cannot explain a full timeout of silence, so a
+    // declaration it would "cover" is still a live cub declared dead.
     let ring_observable = cfg.plan.links.iter().all(|l| l.drop_prob == 0.0);
     let mut observed_stalls: Vec<ObservedStall> = Vec::new();
     for rec in sys.tracer().records() {
@@ -266,17 +279,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         .map(|l| l.extra_delay + l.extra_jitter)
         .max()
         .unwrap_or(SimDuration::ZERO);
-    if ring_observable {
-        let grace = cfg.tiger.deadman_interval + cfg.tiger.latency.worst_case() + injected_delay;
-        violations.extend(check_deadman_justified_with(
-            &cfg.plan,
-            topo,
-            &declares,
-            &observed_stalls,
-            cfg.tiger.deadman_timeout,
-            grace,
-        ));
-    }
+    let grace = cfg.tiger.deadman_interval + cfg.tiger.latency.worst_case() + injected_delay;
+    violations.extend(check_deadman_justified_probabilistic(
+        &cfg.plan,
+        topo,
+        &declares,
+        &observed_stalls,
+        cfg.tiger.deadman_timeout,
+        cfg.tiger.deadman_interval,
+        grace,
+        DROP_SILENCE_MIN_PROB,
+    ));
     // Invariant 3: schedule views within the legitimate lead.
     violations.extend(sys.check_view_lead());
     // Invariant 4: a single clean crash loses blocks only inside the

@@ -83,6 +83,15 @@ echo "== recovery smoke: trace_timeline --rejoin-demo vs results/trace_rejoin_ti
 cargo run --release -q -p tiger-bench --bin trace_timeline -- --rejoin-demo > "$DEMO_OUT"
 cmp results/trace_rejoin_timeline.txt "$DEMO_OUT"
 
+# Driver conformance: the crash-rejoin scenario run under the DES oracle
+# and under the thread/socket driver (real OS threads, loopback UDP,
+# wall clocks) must make the same protocol decisions — the sans-io
+# machines in crates/proto are shared code, so a divergence means a
+# driver broke the contract (docs/PROTOCOL.md, "The driver contract").
+# Fatal. Takes ~10.5 s of wall time (the socket driver runs in real time).
+echo "== driver conformance: DES oracle vs thread/socket driver (rt_conformance)" >&2
+cargo run --release -q -p tiger-rt --bin rt_conformance
+
 # Bench trajectory: compare fresh event-queue micro-benches against the
 # checked-in snapshot. Non-fatal — timing on shared CI hardware is too
 # noisy to gate on; the warning is the signal to re-run locally.

@@ -177,6 +177,33 @@ fn bench_net_schedule(c: &mut Runner) {
             black_box(s.fits(start, Bandwidth::from_mbit_per_sec(2)))
         })
     });
+    c.bench_function("net_schedule/admissible_starts", |b| {
+        // The phase-0 local check: scan the whole ring for candidate
+        // starts. Same 60-entry view as fits_under_load.
+        let mut s = NetworkSchedule::new(
+            14,
+            SimDuration::from_secs(1),
+            Bandwidth::from_mbit_per_sec(135),
+            Some(SimDuration::from_millis(250)),
+        );
+        for i in 0..60u64 {
+            let inst = ViewerInstance {
+                viewer: ViewerId(i),
+                incarnation: 0,
+            };
+            let start = SimDuration::from_millis((i * 250) % 14_000);
+            let _ = s.insert(inst, start, Bandwidth::from_mbit_per_sec(2), false);
+        }
+        b.iter(|| {
+            black_box(
+                s.admissible_starts(
+                    Bandwidth::from_mbit_per_sec(2),
+                    SimDuration::from_millis(250),
+                )
+                .count(),
+            )
+        })
+    });
     c.bench_function("net_schedule/insert_abort", |b| {
         let mut s = NetworkSchedule::new(
             14,
@@ -198,6 +225,74 @@ fn bench_net_schedule(c: &mut Runner) {
                 )
                 .expect("fits");
             s.abort(id).expect("exists");
+        })
+    });
+}
+
+fn bench_admission_storm(c: &mut Runner) {
+    // A flash crowd against a production-scale ring: 64 cubs, decluster 8
+    // (125 ms quantum, 512 slots), NIC nearly full of 2 Mbit/s streams.
+    // This is the regime the ROADMAP's 1M-viewer experiments live in —
+    // thousands of probes against a near-full schedule, where the old
+    // rescan paid O(entries) per probe.
+    let build = || {
+        let mut s = NetworkSchedule::new(
+            64,
+            SimDuration::from_secs(1),
+            Bandwidth::from_mbit_per_sec(135),
+            Some(SimDuration::from_millis(125)),
+        );
+        // Pack ~60 of the 67 per-window stream capacity everywhere:
+        // 512 slots / 8 per entry = 64 positions × 60 lanes.
+        let mut v = 0u64;
+        for lane in 0..60u64 {
+            for pos in 0..64u64 {
+                let inst = ViewerInstance {
+                    viewer: ViewerId(v),
+                    incarnation: 0,
+                };
+                v += 1;
+                let start = SimDuration::from_millis(pos * 1_000 + (lane % 8) * 125);
+                let _ = s.insert(inst, start, Bandwidth::from_mbit_per_sec(2), false);
+            }
+        }
+        (s, v)
+    };
+    c.bench_function("admission_storm/probe_near_full", |b| {
+        let (s, _) = build();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let start = SimDuration::from_millis((i * 125) % 64_000);
+            black_box(s.fits(start, Bandwidth::from_mbit_per_sec(2)))
+        })
+    });
+    c.bench_function("admission_storm/first_fit_near_full", |b| {
+        let (s, _) = build();
+        b.iter(|| {
+            black_box(
+                s.admissible_starts(
+                    Bandwidth::from_mbit_per_sec(2),
+                    SimDuration::from_millis(125),
+                )
+                .next(),
+            )
+        })
+    });
+    c.bench_function("admission_storm/churn_near_full", |b| {
+        let (mut s, next_viewer) = build();
+        let mut i = 0u64;
+        b.iter(|| {
+            let inst = ViewerInstance {
+                viewer: ViewerId(next_viewer + i),
+                incarnation: 0,
+            };
+            i += 1;
+            let start = SimDuration::from_millis((i * 125) % 64_000);
+            if let Ok(id) = s.insert(inst, start, Bandwidth::from_mbit_per_sec(2), true) {
+                s.abort(id).expect("exists");
+            }
+            black_box(s.len())
         })
     });
 }
@@ -417,6 +512,7 @@ fn main() {
     bench_rejoin(&mut c);
     bench_layout(&mut c);
     bench_net_schedule(&mut c);
+    bench_admission_storm(&mut c);
     bench_event_queue(&mut c);
     bench_trace(&mut c);
     bench_fault_check(&mut c);

@@ -151,8 +151,8 @@ impl MbrCoordinator {
         // Phase 0: local check. "It first checks its local copy of the
         // schedule to see if it can rule out the insertion."
         let probe = self.cfg.quantum.unwrap_or(SimDuration::from_millis(50));
-        let starts = self.views[origin as usize].admissible_starts(rate, probe);
-        let Some(&start) = starts.first() else {
+        let mut starts = self.views[origin as usize].admissible_starts(rate, probe);
+        let Some(start) = starts.next() else {
             return MbrOutcome::RejectedLocal;
         };
 

@@ -216,7 +216,28 @@ impl MbrSystem {
         (cub + 1) % self.cfg.num_cubs
     }
 
+    /// The reservation-expiry backstop: a tentative entry that has not
+    /// been committed or released this long after it was made is assumed
+    /// leaked (its originator died or the release was lost) and swept, so
+    /// it cannot pin NIC capacity forever. Far beyond any legitimate
+    /// round trip, so fault-free runs never trigger it.
+    fn reservation_backstop(&self) -> SimDuration {
+        self.deadline.mul_u64(4)
+    }
+
+    /// Sweeps expired reservations out of every view (and out of the
+    /// successor-side `held` maps) before handling an event.
+    fn sweep_expired(&mut self, now: SimTime) {
+        for cub in &mut self.cubs {
+            if cub.view.expire_reservations(now) > 0 {
+                let MbrCub { view, held, .. } = cub;
+                held.retain(|_, (entry, _)| view.contains_entry(*entry));
+            }
+        }
+    }
+
     fn dispatch(&mut self, now: SimTime, ev: MbrEvent) {
+        self.sweep_expired(now);
         match ev {
             MbrEvent::Request { origin, rate_bps } => {
                 self.on_request(now, origin, Bandwidth::from_bits_per_sec(rate_bps));
@@ -288,9 +309,12 @@ impl MbrSystem {
             return;
         };
         // Phase 1: tentative insert + speculative read + reserve request.
+        // The expiry is pure defense in depth — the deadline event always
+        // resolves the attempt long before the backstop.
+        let backstop = now + self.reservation_backstop();
         let entry = self.cubs[origin as usize]
             .view
-            .insert(instance, start, rate, true)
+            .insert_with_expiry(instance, start, rate, true, Some(backstop))
             .expect("admissible start fits the local view");
         let reservation = self.next_reservation;
         self.next_reservation += 1;
@@ -350,12 +374,15 @@ impl MbrSystem {
             } => {
                 let start = SimDuration::from_nanos(start_nanos);
                 let rate = Bandwidth::from_bits_per_sec(rate_bps);
+                // If the originator dies before committing or releasing,
+                // the expiry backstop reclaims the reservation.
+                let backstop = now + self.reservation_backstop();
                 let cub = &mut self.cubs[me as usize];
                 let ok = cub.view.fits(start, rate);
                 if ok {
                     let entry = cub
                         .view
-                        .insert(instance, start, rate, true)
+                        .insert_with_expiry(instance, start, rate, true, Some(backstop))
                         .expect("fits just checked");
                     cub.held.insert(reservation, (entry, instance));
                 }
@@ -388,7 +415,12 @@ impl MbrSystem {
                     .map(|(&r, &(entry, _))| (r, entry));
                 match held {
                     Some((r, entry)) => {
-                        cub.view.commit(entry).expect("reservation exists");
+                        // A commit losing the race against the expiry
+                        // backstop finds its reservation gone; fall back
+                        // to inserting the committed entry directly.
+                        if cub.view.commit(entry).is_err() {
+                            let _ = cub.view.insert(instance, start, rate, false);
+                        }
                         cub.held.remove(&r);
                     }
                     None if !cub.view.has_instance(instance) => {
@@ -515,6 +547,14 @@ impl MbrSystem {
         self.send(now, origin, succ, MbrMsg::Release { reservation });
     }
 
+    /// Severs `cub` from the network: every message to or from it is
+    /// dropped from now on. Used to exercise the reservation-expiry
+    /// backstop — a dead originator can no longer release what it
+    /// reserved.
+    pub fn fail_cub_link(&mut self, cub: u32) {
+        self.net.fail_node(NetNode(cub));
+    }
+
     /// Removes a committed instance from every view (deschedule).
     pub fn request_remove(&mut self, at: SimTime, origin: u32, instance: ViewerInstance) {
         self.reference.remove_instance(instance);
@@ -610,6 +650,42 @@ mod tests {
         assert!(stats.committed <= 56, "{stats:?}");
         assert!(stats.committed >= 40, "storm should mostly fill: {stats:?}");
         assert_eq!(stats.committed + stats.aborted + stats.rejected_local, 200);
+    }
+
+    #[test]
+    fn leaked_reservation_expires_instead_of_pinning_capacity() {
+        // The originator reserves at its successor, then drops off the
+        // network before it can commit or release. Without the expiry
+        // backstop the successor's reservation would pin 2 Mbit/s of NIC
+        // capacity forever.
+        let mut cfg = MbrConfig::default_ring();
+        cfg.latency = LatencyModel::fixed(SimDuration::from_millis(100));
+        let mut sys = MbrSystem::new(cfg, SimDuration::from_millis(700));
+        sys.request_insert(SimTime::ZERO, 0, mbit(2));
+        // Let the request dispatch (the reserve message is now in flight),
+        // then sever the originator: the reply and any release are lost.
+        sys.run_until(SimTime::from_millis(1));
+        sys.fail_cub_link(0);
+        sys.run_until(SimTime::from_secs(2));
+        let inst = ViewerInstance {
+            viewer: ViewerId(0),
+            incarnation: 0,
+        };
+        // The successor holds the leaked reservation (reserve arrived at
+        // 100 ms; the originator's own deadline abort at 700 ms could not
+        // reach it).
+        assert!(sys.view(1).has_instance(inst), "reservation was made");
+        assert_eq!(sys.stats().aborted, 1);
+        // Any later event past the backstop (4 × 700 ms after the reserve)
+        // sweeps it; an unrelated insertion provides the tick.
+        sys.request_insert(SimTime::from_secs(4), 7, mbit(2));
+        sys.run_until(SimTime::from_secs(6));
+        assert!(
+            !sys.view(1).has_instance(inst),
+            "leaked reservation should have expired"
+        );
+        assert_eq!(sys.stats().committed, 1, "later insertion unaffected");
+        assert_eq!(sys.stats().violations, 0);
     }
 
     #[test]

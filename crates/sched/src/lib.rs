@@ -27,13 +27,14 @@
 //! lives in `tiger-core`.
 
 pub mod disk_schedule;
+mod load_index;
 pub mod net_schedule;
 pub mod params;
 pub mod records;
 pub mod view;
 
 pub use disk_schedule::{DiskSchedule, SlotEntry};
-pub use net_schedule::{NetEntryId, NetScheduleError, NetworkSchedule};
+pub use net_schedule::{AdmissibleStarts, NetEntryId, NetScheduleError, NetworkSchedule};
 pub use params::{ScheduleParams, SlotId};
 pub use records::{Deschedule, StreamKind, ViewerState};
 pub use view::{ScheduleView, ViewApply};

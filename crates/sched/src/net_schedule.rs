@@ -9,6 +9,9 @@
 //!
 //! Entries may be *tentative* (two-phase insertion, §4.2): a reservation
 //! blocks capacity but does no work until committed; an abort releases it.
+//! A reservation may carry an expiry deadline — [`NetworkSchedule::expire_reservations`]
+//! sweeps overdue ones, so a lost release message cannot leak capacity
+//! forever.
 //!
 //! Fragmentation (§3.2): free bandwidth can become unusable when gaps in
 //! the time axis are shorter than one block play time. The paper's fix —
@@ -16,11 +19,21 @@
 //! the block play time divided by the decluster factor" — is modelled by
 //! the quantized-starts insertion mode, and
 //! [`NetworkSchedule::fragmentation`] measures the waste either way.
+//!
+//! Admission probes are the hot path of the two-phase protocol, so load is
+//! not recomputed per query: an incrementally maintained residual-capacity
+//! index (see [`crate::load_index`] and docs/ADMISSION.md) is updated in
+//! O(affected slots) on every reservation change and answers `fits` in
+//! O(window). The index is a pure cache — every query returns exactly what
+//! a full rescan of the entries would.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use tiger_layout::ids::ViewerInstance;
-use tiger_sim::{Bandwidth, SimDuration};
+use tiger_sim::{Bandwidth, SimDuration, SimTime};
+
+use crate::load_index::{LoadIndex, GROUP_SLOTS};
 
 /// Identifier of a network-schedule entry.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -58,6 +71,9 @@ struct NetEntry {
     start: SimDuration,
     rate: Bandwidth,
     tentative: bool,
+    /// Reservation deadline; tentative entries past it are removed by
+    /// [`NetworkSchedule::expire_reservations`]. Cleared on commit.
+    expires_at: Option<SimTime>,
 }
 
 /// One cub's picture of the network schedule ring.
@@ -72,6 +88,13 @@ pub struct NetworkSchedule {
     /// Start-position quantum; `None` allows arbitrary starts.
     quantum: Option<SimDuration>,
     entries: HashMap<NetEntryId, NetEntry>,
+    /// Entry ids per viewer instance, for O(own entries) deschedule.
+    by_instance: HashMap<ViewerInstance, Vec<NetEntryId>>,
+    /// The incrementally maintained load profile.
+    index: LoadIndex,
+    /// Pending reservation deadlines (lazily pruned min-heap; entries that
+    /// were committed or aborted first are skipped on pop).
+    expiring: BinaryHeap<Reverse<(SimTime, NetEntryId)>>,
     next_id: u64,
 }
 
@@ -94,12 +117,20 @@ impl NetworkSchedule {
                 "quantum must divide the block play time"
             );
         }
+        let len = bpt.mul_u64(u64::from(num_cubs));
         NetworkSchedule {
-            len: bpt.mul_u64(u64::from(num_cubs)),
+            len,
             bpt,
             capacity,
             quantum,
             entries: HashMap::new(),
+            by_instance: HashMap::new(),
+            index: LoadIndex::new(
+                len.as_nanos(),
+                bpt.as_nanos(),
+                quantum.map(SimDuration::as_nanos),
+            ),
+            expiring: BinaryHeap::new(),
             next_id: 0,
         }
     }
@@ -107,6 +138,11 @@ impl NetworkSchedule {
     /// Ring length.
     pub fn len_duration(&self) -> SimDuration {
         self.len
+    }
+
+    /// Entry duration: one block play time.
+    pub fn block_play_time(&self) -> SimDuration {
+        self.bpt
     }
 
     /// NIC capacity (schedule height).
@@ -119,39 +155,24 @@ impl NetworkSchedule {
         self.quantum
     }
 
-    fn ring_dist(&self, from: SimDuration, to: SimDuration) -> SimDuration {
-        let l = self.len.as_nanos();
-        SimDuration::from_nanos((to.as_nanos() + l - from.as_nanos()) % l)
-    }
-
     /// Instantaneous load at ring position `pos`, counting tentative
     /// entries (a reservation blocks capacity).
     pub fn load_at(&self, pos: SimDuration) -> Bandwidth {
-        let mut total = Bandwidth::ZERO;
-        for e in self.entries.values() {
-            if self.ring_dist(e.start, pos) < self.bpt {
-                total = total.saturating_add(e.rate);
-            }
-        }
-        total
+        Bandwidth::from_bits_per_sec(self.index.load_at(pos.as_nanos()))
     }
 
     /// The maximum instantaneous load in the window `[start, start+bpt)`.
     pub fn max_load_in_entry_window(&self, start: SimDuration) -> Bandwidth {
-        // Candidate maxima occur at the window start and at each entry
-        // start inside the window.
-        let mut max = self.load_at(start);
-        for e in self.entries.values() {
-            if self.ring_dist(start, e.start) < self.bpt {
-                max = max.max(self.load_at(e.start));
-            }
-        }
-        max
+        Bandwidth::from_bits_per_sec(self.index.max_in_entry_window(start.as_nanos()))
     }
 
     /// Whether an entry of `rate` starting at `start` fits under capacity.
     pub fn fits(&self, start: SimDuration, rate: Bandwidth) -> bool {
-        self.max_load_in_entry_window(start).saturating_add(rate) <= self.capacity
+        let Some(headroom) = self.capacity.checked_sub(rate) else {
+            return false;
+        };
+        self.index
+            .window_has_headroom(start.as_nanos(), headroom.bits_per_sec())
     }
 
     /// Validates a start against the quantization grid.
@@ -172,11 +193,27 @@ impl NetworkSchedule {
         rate: Bandwidth,
         tentative: bool,
     ) -> Result<NetEntryId, NetScheduleError> {
+        self.insert_with_expiry(instance, start, rate, tentative, None)
+    }
+
+    /// Inserts an entry; a tentative entry with `expires_at` set is
+    /// removed by [`Self::expire_reservations`] once that instant is
+    /// reached, unless committed or aborted first.
+    pub fn insert_with_expiry(
+        &mut self,
+        instance: ViewerInstance,
+        start: SimDuration,
+        rate: Bandwidth,
+        tentative: bool,
+        expires_at: Option<SimTime>,
+    ) -> Result<NetEntryId, NetScheduleError> {
         debug_assert!(start < self.len);
         self.check_alignment(start)?;
         if !self.fits(start, rate) {
             return Err(NetScheduleError::Overflow);
         }
+        let start = SimDuration::from_nanos(start.as_nanos() % self.len.as_nanos());
+        let expires_at = if tentative { expires_at } else { None };
         let id = NetEntryId(self.next_id);
         self.next_id += 1;
         self.entries.insert(
@@ -186,41 +223,117 @@ impl NetworkSchedule {
                 start,
                 rate,
                 tentative,
+                expires_at,
             },
         );
+        self.by_instance.entry(instance).or_default().push(id);
+        self.index.add(start.as_nanos(), rate.bits_per_sec());
+        if let Some(at) = expires_at {
+            self.expiring.push(Reverse((at, id)));
+        }
         Ok(id)
     }
 
+    /// Removes `id` from every structure. The lazily pruned expiry heap is
+    /// left alone: a stale deadline is skipped when popped.
+    fn remove_entry(&mut self, id: NetEntryId) -> Option<NetEntry> {
+        let e = self.entries.remove(&id)?;
+        self.index.sub(e.start.as_nanos(), e.rate.bits_per_sec());
+        if let Some(ids) = self.by_instance.get_mut(&e.instance) {
+            if let Some(pos) = ids.iter().position(|i| *i == id) {
+                ids.swap_remove(pos);
+            }
+            if ids.is_empty() {
+                self.by_instance.remove(&e.instance);
+            }
+        }
+        Some(e)
+    }
+
     /// Commits a tentative entry ("replace the reservation with a real
-    /// schedule entry").
+    /// schedule entry"). Committed entries never expire.
     pub fn commit(&mut self, id: NetEntryId) -> Result<(), NetScheduleError> {
         let e = self
             .entries
             .get_mut(&id)
             .ok_or(NetScheduleError::UnknownEntry(id))?;
         e.tentative = false;
+        e.expires_at = None;
         Ok(())
     }
 
     /// Aborts (removes) a tentative or committed entry.
     pub fn abort(&mut self, id: NetEntryId) -> Result<(), NetScheduleError> {
-        self.entries
-            .remove(&id)
+        self.remove_entry(id)
             .map(|_| ())
             .ok_or(NetScheduleError::UnknownEntry(id))
     }
 
+    /// Removes every tentative entry whose expiry deadline has been
+    /// reached (`expires_at <= now`). Returns how many were removed.
+    ///
+    /// A reservation that was committed at exactly its deadline stays (the
+    /// commit cleared the deadline); one swept at exactly its deadline is
+    /// gone, and a late commit gets [`NetScheduleError::UnknownEntry`].
+    pub fn expire_reservations(&mut self, now: SimTime) -> usize {
+        let mut removed = 0;
+        while let Some(&Reverse((at, id))) = self.expiring.peek() {
+            if at > now {
+                break;
+            }
+            self.expiring.pop();
+            // Skip stale heap entries: committed (deadline cleared) or
+            // already aborted reservations.
+            let live = self
+                .entries
+                .get(&id)
+                .is_some_and(|e| e.tentative && e.expires_at == Some(at));
+            if live {
+                self.remove_entry(id);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// The earliest pending reservation deadline, if any (prunes stale
+    /// heap entries as a side effect).
+    pub fn next_expiry(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((at, id))) = self.expiring.peek() {
+            let live = self
+                .entries
+                .get(&id)
+                .is_some_and(|e| e.tentative && e.expires_at == Some(at));
+            if live {
+                return Some(at);
+            }
+            self.expiring.pop();
+        }
+        None
+    }
+
+    /// Whether `id` names a live (committed or tentative) entry.
+    pub fn contains_entry(&self, id: NetEntryId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
     /// Whether any entry (committed or tentative) exists for `instance`.
     pub fn has_instance(&self, instance: ViewerInstance) -> bool {
-        self.entries.values().any(|e| e.instance == instance)
+        self.by_instance.contains_key(&instance)
     }
 
     /// Removes all entries for `instance` (deschedule). Returns how many
     /// were removed.
     pub fn remove_instance(&mut self, instance: ViewerInstance) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, e| e.instance != instance);
-        before - self.entries.len()
+        let Some(ids) = self.by_instance.remove(&instance) else {
+            return 0;
+        };
+        let removed = ids.len();
+        for id in ids {
+            let e = self.entries.remove(&id).expect("indexed entry exists");
+            self.index.sub(e.start.as_nanos(), e.rate.bits_per_sec());
+        }
+        removed
     }
 
     /// Number of entries (committed + tentative).
@@ -235,19 +348,22 @@ impl NetworkSchedule {
 
     /// All candidate start positions on the quantization grid (or on a
     /// `probe` grid when starts are unquantized) at which an entry of
-    /// `rate` currently fits.
-    pub fn admissible_starts(&self, rate: Bandwidth, probe: SimDuration) -> Vec<SimDuration> {
+    /// `rate` currently fits, as an allocation-free iterator in ring
+    /// order.
+    ///
+    /// On a quantized schedule the scan early-outs over whole summary
+    /// groups: when every group a run of windows can touch has headroom,
+    /// the run is emitted without per-slot checks.
+    pub fn admissible_starts(&self, rate: Bandwidth, probe: SimDuration) -> AdmissibleStarts<'_> {
         let step = self.quantum.unwrap_or(probe);
         assert!(!step.is_zero());
-        let mut out = Vec::new();
-        let mut pos = SimDuration::ZERO;
-        while pos < self.len {
-            if self.fits(pos, rate) {
-                out.push(pos);
-            }
-            pos += step;
+        AdmissibleStarts {
+            sched: self,
+            headroom: self.capacity.checked_sub(rate).map(Bandwidth::bits_per_sec),
+            step: step.as_nanos(),
+            pos: 0,
+            fast_until: 0,
         }
-        out
     }
 
     /// Mean free bandwidth over the ring, sampled at `probe` resolution.
@@ -285,9 +401,7 @@ impl NetworkSchedule {
         // admission changes the landscape, so simulate the packing).
         let mut trial = self.clone();
         let mut packed_bits = 0f64;
-        loop {
-            let starts = trial.admissible_starts(rate, probe);
-            let Some(&s) = starts.first() else { break };
+        while let Some(s) = trial.admissible_starts(rate, probe).next() {
             let inst = ViewerInstance::default();
             if trial.insert(inst, s, rate, false).is_err() {
                 break;
@@ -298,6 +412,49 @@ impl NetworkSchedule {
             }
         }
         (1.0 - packed_bits / free).clamp(0.0, 1.0)
+    }
+}
+
+/// Iterator over admissible start positions; see
+/// [`NetworkSchedule::admissible_starts`].
+pub struct AdmissibleStarts<'a> {
+    sched: &'a NetworkSchedule,
+    /// `capacity - rate`, or `None` when the rate alone exceeds capacity.
+    headroom: Option<u64>,
+    step: u64,
+    pos: u64,
+    /// Positions below this were group-accepted and need no slot checks.
+    fast_until: u64,
+}
+
+impl Iterator for AdmissibleStarts<'_> {
+    type Item = SimDuration;
+
+    fn next(&mut self) -> Option<SimDuration> {
+        let headroom = self.headroom?;
+        let len = self.sched.len.as_nanos();
+        while self.pos < len {
+            let p = self.pos;
+            self.pos += self.step;
+            if p < self.fast_until {
+                return Some(SimDuration::from_nanos(p));
+            }
+            // At a summary-group boundary, try to accept the whole group's
+            // worth of start positions from the coarse maxima alone.
+            if let Some(grid) = self.sched.index.as_grid() {
+                let slot = (p / grid.quantum()) as usize;
+                if slot.is_multiple_of(GROUP_SLOTS) {
+                    if let Some(run_end) = grid.quick_accept_group(slot, headroom) {
+                        self.fast_until = run_end as u64 * grid.quantum();
+                        return Some(SimDuration::from_nanos(p));
+                    }
+                }
+            }
+            if self.sched.index.window_has_headroom(p, headroom) {
+                return Some(SimDuration::from_nanos(p));
+            }
+        }
+        None
     }
 }
 
@@ -471,5 +628,154 @@ mod tests {
             quantized <= arbitrary,
             "quantized {quantized} should not fragment more than arbitrary {arbitrary}"
         );
+    }
+
+    #[test]
+    fn abort_after_commit_removes_the_entry() {
+        // A commit makes the reservation permanent, but a later abort (a
+        // deschedule addressed by entry id) still removes it and frees
+        // the bandwidth.
+        let mut s = fig4();
+        let id = s.insert(inst(0), ms(0), mbit(6), true).expect("fits");
+        s.commit(id).expect("known id");
+        assert!(!s.fits(ms(0), mbit(1)), "committed entry holds capacity");
+        s.abort(id).expect("committed entries can be aborted");
+        assert_eq!(s.len(), 0);
+        assert!(s.fits(ms(0), mbit(6)), "capacity freed");
+        // A second abort of the same id is an error, not a double-free.
+        assert_eq!(s.abort(id), Err(NetScheduleError::UnknownEntry(id)));
+        assert!(!s.has_instance(inst(0)));
+    }
+
+    #[test]
+    fn double_remove_of_instance_is_a_noop() {
+        let mut s = fig4();
+        s.insert(inst(3), ms(0), mbit(2), false).expect("fits");
+        s.insert(inst(3), ms(1000), mbit(2), true).expect("fits");
+        assert_eq!(s.remove_instance(inst(3)), 2);
+        assert_eq!(s.remove_instance(inst(3)), 0, "second remove finds nothing");
+        assert!(!s.has_instance(inst(3)));
+        assert_eq!(s.load_at(ms(0)), Bandwidth::ZERO);
+        assert_eq!(s.load_at(ms(1000)), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn reservation_expiry_frees_capacity() {
+        let mut s = fig4();
+        let id = s
+            .insert_with_expiry(
+                inst(0),
+                ms(0),
+                mbit(6),
+                true,
+                Some(SimTime::from_millis(700)),
+            )
+            .expect("fits");
+        assert_eq!(s.next_expiry(), Some(SimTime::from_millis(700)));
+        // Before the deadline the reservation blocks capacity.
+        assert_eq!(s.expire_reservations(SimTime::from_millis(699)), 0);
+        assert!(!s.fits(ms(0), mbit(1)));
+        // At the deadline it is swept and the bandwidth is free again.
+        assert_eq!(s.expire_reservations(SimTime::from_millis(700)), 1);
+        assert!(!s.contains_entry(id));
+        assert!(s.fits(ms(0), mbit(6)));
+        assert_eq!(s.next_expiry(), None);
+    }
+
+    #[test]
+    fn expiry_racing_commit() {
+        // Commit first: the reservation becomes permanent and the sweep
+        // at (and past) the deadline leaves it alone.
+        let deadline = SimTime::from_millis(500);
+        let mut s = fig4();
+        let id = s
+            .insert_with_expiry(inst(0), ms(0), mbit(4), true, Some(deadline))
+            .expect("fits");
+        s.commit(id).expect("known id");
+        assert_eq!(s.expire_reservations(deadline), 0);
+        assert_eq!(s.expire_reservations(SimTime::from_secs(10)), 0);
+        assert!(s.contains_entry(id));
+        // Sweep first: a commit arriving at the same instant but after
+        // the sweep ran has lost the race.
+        let mut s2 = fig4();
+        let id2 = s2
+            .insert_with_expiry(inst(1), ms(0), mbit(4), true, Some(deadline))
+            .expect("fits");
+        assert_eq!(s2.expire_reservations(deadline), 1);
+        assert_eq!(s2.commit(id2), Err(NetScheduleError::UnknownEntry(id2)));
+    }
+
+    #[test]
+    fn committed_entries_never_expire() {
+        // Non-tentative inserts ignore the expiry argument entirely.
+        let mut s = fig4();
+        let id = s
+            .insert_with_expiry(
+                inst(0),
+                ms(0),
+                mbit(2),
+                false,
+                Some(SimTime::from_millis(1)),
+            )
+            .expect("fits");
+        assert_eq!(s.expire_reservations(SimTime::from_secs(100)), 0);
+        assert!(s.contains_entry(id));
+    }
+
+    #[test]
+    fn probes_at_exact_quantum_boundaries() {
+        // decluster 4 on a 3 s ring: 12 slots of 250 ms. An entry's window
+        // is [start, start + bpt) — half-open — so a probe at start + bpt
+        // exactly does not see it, while start + bpt - 1ns does.
+        let mut s = NetworkSchedule::new(3, sec(1), mbit(6), Some(ms(250)));
+        s.insert(inst(0), ms(250), mbit(6), false).expect("fits");
+        assert_eq!(s.load_at(ms(250)), mbit(6), "window start is inclusive");
+        assert_eq!(
+            s.load_at(SimDuration::from_nanos(ms(1250).as_nanos() - 1)),
+            mbit(6),
+            "last instant of the window"
+        );
+        assert_eq!(s.load_at(ms(1250)), Bandwidth::ZERO, "window end exclusive");
+        assert!(!s.fits(ms(250), mbit(1)));
+        assert!(
+            !s.fits(ms(1000), mbit(1)),
+            "a window starting at the last covered slot still overlaps"
+        );
+        assert!(s.fits(ms(1250), mbit(6)), "back-to-back windows fit");
+        // The same boundaries hold for unaligned probes of a full window.
+        assert!(!s.fits(SimDuration::from_nanos(ms(250).as_nanos() + 1), mbit(1)));
+    }
+
+    #[test]
+    fn admissible_starts_iterator_matches_ring_order() {
+        let mut s = NetworkSchedule::new(3, sec(1), mbit(6), Some(ms(250)));
+        s.insert(inst(0), ms(0), mbit(6), false).expect("fits");
+        s.insert(inst(1), ms(2000), mbit(5), false).expect("fits");
+        let starts: Vec<SimDuration> = s.admissible_starts(mbit(2), ms(250)).collect();
+        // Blocked: [0,1) by the 6 Mbit/s entry, [2,3) by the 5 Mbit/s one
+        // (5 + 2 > 6), and the wrap of anything ending past 3 s is the
+        // ring start again. Admissible windows must start in [1, 2).
+        assert_eq!(starts, vec![ms(1000)]);
+        // A rate above capacity is never admissible.
+        assert_eq!(s.admissible_starts(mbit(7), ms(250)).count(), 0);
+    }
+
+    #[test]
+    fn group_quick_accept_agrees_with_slot_scan() {
+        // A ring big enough for several summary groups (decluster 8 on a
+        // 64 s ring = 512 slots), loaded unevenly so some groups quick-
+        // accept and others fall back to slot scans.
+        let q = ms(125);
+        let mut s = NetworkSchedule::new(64, sec(1), mbit(135), Some(q));
+        for i in 0..300u64 {
+            let start = SimDuration::from_nanos((i * 3) % 512 * q.as_nanos());
+            let _ = s.insert(inst(i), start, mbit(2), false);
+        }
+        let fast: Vec<SimDuration> = s.admissible_starts(mbit(96), q).collect();
+        let slow: Vec<SimDuration> = (0..512u64)
+            .map(|i| SimDuration::from_nanos(i * q.as_nanos()))
+            .filter(|&p| s.max_load_in_entry_window(p).saturating_add(mbit(96)) <= s.capacity())
+            .collect();
+        assert_eq!(fast, slow);
     }
 }

@@ -9,7 +9,9 @@
 use tiger_layout::ids::ViewerInstance;
 use tiger_layout::{BlockNum, FileId, ViewerId};
 use tiger_sched::view::ViewApply;
-use tiger_sched::{Deschedule, NetworkSchedule, ScheduleView, SlotId, StreamKind, ViewerState};
+use tiger_sched::{
+    Deschedule, NetScheduleError, NetworkSchedule, ScheduleView, SlotId, StreamKind, ViewerState,
+};
 use tiger_sim::check::{check, vec_of};
 use tiger_sim::{Bandwidth, SimDuration, SimRng, SimTime};
 
@@ -224,6 +226,351 @@ fn net_schedule_never_overcommits() {
             }
         }
     });
+}
+
+/// The pre-cache network schedule: a naive model that rescans every
+/// entry on every query. This is exactly the semantics the cached
+/// implementation must reproduce — the differential test below drives
+/// both through the same operation sequences and demands identical
+/// answers to every query at every step.
+#[derive(Clone, Copy, Debug)]
+struct RefEntry {
+    instance: ViewerInstance,
+    start: u64,
+    rate: u64,
+    tentative: bool,
+    expires_at: Option<u64>,
+}
+
+struct RescanSchedule {
+    len: u64,
+    bpt: u64,
+    capacity: u64,
+    quantum: Option<u64>,
+    entries: Vec<(u64, RefEntry)>,
+    next_id: u64,
+}
+
+impl RescanSchedule {
+    fn new(num_cubs: u64, bpt: u64, capacity: u64, quantum: Option<u64>) -> Self {
+        RescanSchedule {
+            len: bpt * num_cubs,
+            bpt,
+            capacity,
+            quantum,
+            entries: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn ring_dist(&self, from: u64, to: u64) -> u64 {
+        (to + self.len - from) % self.len
+    }
+
+    fn load_at(&self, pos: u64) -> u64 {
+        let pos = pos % self.len;
+        self.entries
+            .iter()
+            .filter(|(_, e)| self.ring_dist(e.start, pos) < self.bpt)
+            .fold(0u64, |a, (_, e)| a.saturating_add(e.rate))
+    }
+
+    fn max_load_in_entry_window(&self, start: u64) -> u64 {
+        let start = start % self.len;
+        let mut max = self.load_at(start);
+        for (_, e) in &self.entries {
+            if self.ring_dist(start, e.start) < self.bpt {
+                max = max.max(self.load_at(e.start));
+            }
+        }
+        max
+    }
+
+    fn fits(&self, start: u64, rate: u64) -> bool {
+        self.max_load_in_entry_window(start).saturating_add(rate) <= self.capacity
+    }
+
+    fn insert(
+        &mut self,
+        instance: ViewerInstance,
+        start: u64,
+        rate: u64,
+        tentative: bool,
+        expires_at: Option<u64>,
+    ) -> Result<u64, NetScheduleError> {
+        if let Some(q) = self.quantum {
+            if start % q != 0 {
+                return Err(NetScheduleError::UnalignedStart);
+            }
+        }
+        if !self.fits(start, rate) {
+            return Err(NetScheduleError::Overflow);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push((
+            id,
+            RefEntry {
+                instance,
+                start: start % self.len,
+                rate,
+                tentative,
+                expires_at: if tentative { expires_at } else { None },
+            },
+        ));
+        Ok(id)
+    }
+
+    fn commit(&mut self, id: u64) -> bool {
+        for (i, e) in self.entries.iter_mut() {
+            if *i == id {
+                e.tentative = false;
+                e.expires_at = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn abort(&mut self, id: u64) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(i, _)| *i != id);
+        self.entries.len() != before
+    }
+
+    fn remove_instance(&mut self, instance: ViewerInstance) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(_, e)| e.instance != instance);
+        before - self.entries.len()
+    }
+
+    fn has_instance(&self, instance: ViewerInstance) -> bool {
+        self.entries.iter().any(|(_, e)| e.instance == instance)
+    }
+
+    fn expire(&mut self, now: u64) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(_, e)| !(e.tentative && e.expires_at.is_some_and(|t| t <= now)));
+        before - self.entries.len()
+    }
+
+    fn admissible_starts(&self, rate: u64, probe: u64) -> Vec<u64> {
+        let step = self.quantum.unwrap_or(probe);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < self.len {
+            if self.fits(pos, rate) {
+                out.push(pos);
+            }
+            pos += step;
+        }
+        out
+    }
+
+    fn mean_free_bandwidth(&self, probe: u64) -> u64 {
+        let mut total: u128 = 0;
+        let mut samples: u64 = 0;
+        let mut pos = 0;
+        while pos < self.len {
+            total += u128::from(self.capacity.saturating_sub(self.load_at(pos)));
+            samples += 1;
+            pos += probe;
+        }
+        (total / u128::from(samples.max(1))) as u64
+    }
+}
+
+/// Asserts that every observable query agrees between the cached
+/// schedule and the rescan model, at randomly sampled positions plus
+/// every entry boundary.
+fn assert_schedules_agree(
+    sched: &NetworkSchedule,
+    model: &RescanSchedule,
+    probe: u64,
+    rng: &mut SimRng,
+) {
+    assert_eq!(sched.len(), model.entries.len(), "entry counts diverged");
+    let mut positions = vec![0u64];
+    for _ in 0..6 {
+        positions.push(rng.gen_range(0..model.len));
+    }
+    for (_, e) in &model.entries {
+        positions.push(e.start);
+        positions.push((e.start + model.bpt) % model.len);
+    }
+    for &p in &positions {
+        let pos = SimDuration::from_nanos(p);
+        assert_eq!(
+            sched.load_at(pos).bits_per_sec(),
+            model.load_at(p),
+            "load_at({p}) diverged"
+        );
+        assert_eq!(
+            sched.max_load_in_entry_window(pos).bits_per_sec(),
+            model.max_load_in_entry_window(p),
+            "max_load_in_entry_window({p}) diverged"
+        );
+    }
+    for rate_mbit in [2u64, 5, 19, 21] {
+        let rate = Bandwidth::from_mbit_per_sec(rate_mbit);
+        for &p in &positions {
+            assert_eq!(
+                sched.fits(SimDuration::from_nanos(p), rate),
+                model.fits(p, rate.bits_per_sec()),
+                "fits({p}, {rate_mbit} Mbit) diverged"
+            );
+        }
+        let fast: Vec<u64> = sched
+            .admissible_starts(rate, SimDuration::from_nanos(probe))
+            .map(|d| d.as_nanos())
+            .collect();
+        assert_eq!(
+            fast,
+            model.admissible_starts(rate.bits_per_sec(), probe),
+            "admissible_starts({rate_mbit} Mbit) diverged"
+        );
+    }
+    assert_eq!(
+        sched
+            .mean_free_bandwidth(SimDuration::from_nanos(probe))
+            .bits_per_sec(),
+        model.mean_free_bandwidth(probe),
+        "mean_free_bandwidth diverged"
+    );
+}
+
+/// Drives the cached schedule and the rescan reference model through
+/// one random operation sequence in the given configuration.
+fn run_differential_case(rng: &mut SimRng, quantum: Option<u64>, num_cubs: u32) {
+    let bpt = SimDuration::from_secs(1).as_nanos();
+    let capacity = Bandwidth::from_mbit_per_sec(20);
+    let mut sched = NetworkSchedule::new(
+        num_cubs,
+        SimDuration::from_nanos(bpt),
+        capacity,
+        quantum.map(SimDuration::from_nanos),
+    );
+    let mut model = RescanSchedule::new(u64::from(num_cubs), bpt, capacity.bits_per_sec(), quantum);
+    let len = model.len;
+    let probe = quantum.unwrap_or(bpt / 8);
+    let mut ids: Vec<(u64, tiger_sched::NetEntryId)> = Vec::new();
+    let mut used_starts = vec![0u64];
+    let mut now = 0u64;
+    let steps = rng.gen_range(10usize..50);
+    for _ in 0..steps {
+        now += rng.gen_range(0u64..500_000_000);
+        match rng.gen_range(0u32..8) {
+            // Insert (committed, tentative, or tentative-with-expiry);
+            // sometimes at an already-used start, sometimes unaligned.
+            0..=3 => {
+                let start = if rng.gen_range(0u32..4) == 0 {
+                    used_starts[rng.gen_range(0usize..used_starts.len())]
+                } else {
+                    let raw = rng.gen_range(0..len);
+                    match quantum {
+                        // Mostly aligned, occasionally deliberately not.
+                        Some(q) if rng.gen_range(0u32..8) > 0 => raw / q * q,
+                        _ => raw,
+                    }
+                };
+                let rate = Bandwidth::from_mbit_per_sec(rng.gen_range(1u64..9));
+                let tentative = rng.gen_range(0u32..2) == 0;
+                let expires = if tentative && rng.gen_range(0u32..2) == 0 {
+                    Some(now + rng.gen_range(0u64..2_000_000_000))
+                } else {
+                    None
+                };
+                let inst = ViewerInstance {
+                    viewer: ViewerId(rng.gen_range(0u64..6)),
+                    incarnation: 0,
+                };
+                let got = sched.insert_with_expiry(
+                    inst,
+                    SimDuration::from_nanos(start),
+                    rate,
+                    tentative,
+                    expires.map(SimTime::from_nanos),
+                );
+                let want = model.insert(inst, start, rate.bits_per_sec(), tentative, expires);
+                assert_eq!(got.is_ok(), want.is_ok(), "insert outcome diverged");
+                match (got, want) {
+                    (Ok(id), Ok(ref_id)) => {
+                        ids.push((ref_id, id));
+                        used_starts.push(start % len);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "insert error diverged"),
+                    _ => unreachable!(),
+                }
+            }
+            4 => {
+                if !ids.is_empty() {
+                    let (ref_id, id) = ids[rng.gen_range(0usize..ids.len())];
+                    assert_eq!(
+                        sched.commit(id).is_ok(),
+                        model.commit(ref_id),
+                        "commit outcome diverged"
+                    );
+                }
+            }
+            5 => {
+                if !ids.is_empty() {
+                    let (ref_id, id) = ids.swap_remove(rng.gen_range(0usize..ids.len()));
+                    assert_eq!(
+                        sched.abort(id).is_ok(),
+                        model.abort(ref_id),
+                        "abort outcome diverged"
+                    );
+                }
+            }
+            6 => {
+                let inst = ViewerInstance {
+                    viewer: ViewerId(rng.gen_range(0u64..6)),
+                    incarnation: 0,
+                };
+                assert_eq!(sched.has_instance(inst), model.has_instance(inst));
+                assert_eq!(
+                    sched.remove_instance(inst),
+                    model.remove_instance(inst),
+                    "remove_instance count diverged"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    sched.expire_reservations(SimTime::from_nanos(now)),
+                    model.expire(now),
+                    "expiry count diverged"
+                );
+            }
+        }
+        assert_schedules_agree(&sched, &model, probe, rng);
+    }
+}
+
+/// The cached network schedule is observationally identical to a naive
+/// full-rescan model under random insert/commit/abort/remove/expiry
+/// sequences — quantized (grid index) configuration.
+#[test]
+fn cached_net_schedule_matches_rescan_model_quantized() {
+    check(
+        "cached_net_schedule_matches_rescan_model_quantized",
+        |rng| {
+            let quantum = SimDuration::from_millis(250).as_nanos();
+            run_differential_case(rng, Some(quantum), 14);
+        },
+    );
+}
+
+/// Same differential property for arbitrary (unquantized) starts — the
+/// sparse breakpoint index.
+#[test]
+fn cached_net_schedule_matches_rescan_model_unquantized() {
+    check(
+        "cached_net_schedule_matches_rescan_model_unquantized",
+        |rng| {
+            run_differential_case(rng, None, 5);
+        },
+    );
 }
 
 /// Deschedule + viewer-state interleavings: after a deschedule is

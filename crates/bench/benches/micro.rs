@@ -479,6 +479,56 @@ fn bench_proto_step(c: &mut Runner) {
     });
 }
 
+fn bench_workgen(c: &mut Runner) {
+    use tiger_sim::RngTree;
+    use tiger_workgen::{SessionMachine, SessionSpec, WorkloadPlan};
+    // The workload generators run once per arrival / per session op — a
+    // handful of draws against the whole simulated lifetime of a viewer —
+    // so they must be noise next to even the cheapest schedule op. The
+    // named trio measure the steady-state paths (alias-table draw, plain
+    // Poisson gap, one competing-risks transition); arrival_next_thinning
+    // is the worst case, with diurnal modulation and a flash crowd both
+    // active so every candidate pays the λ(t) evaluation.
+    let plain = WorkloadPlan::new().zipf(1.1, 256).arrival_rate(5.0);
+    let surged = plain
+        .clone()
+        .flashcrowd(7, SimTime::from_secs(120), 40.0, SimDuration::from_secs(60))
+        .diurnal(SimDuration::from_secs(600), 0.2);
+    c.bench_function("workgen/popularity_sample", |b| {
+        let mut w = plain.compile(&RngTree::new(11).subtree("workgen", 0));
+        b.iter(|| black_box(w.popularity.sample(SimTime::from_secs(120), &mut w.chooser)))
+    });
+    c.bench_function("workgen/arrival_next", |b| {
+        let mut w = plain.compile(&RngTree::new(11).subtree("workgen", 0));
+        b.iter(|| black_box(w.arrivals.next_arrival()))
+    });
+    c.bench_function("workgen/arrival_next_thinning", |b| {
+        let mut w = surged.compile(&RngTree::new(11).subtree("workgen", 0));
+        b.iter(|| black_box(w.arrivals.next_arrival()))
+    });
+    c.bench_function("workgen/session_step", |b| {
+        let spec = SessionSpec {
+            interactive: 1.0,
+            pause_rate: 0.05,
+            dwell_mean: SimDuration::from_secs(10),
+            seek_rate: 0.03,
+            abandon_rate: 0.008,
+        };
+        let tree = RngTree::new(11).subtree("workgen", 0).subtree("session", 0);
+        let mut m = SessionMachine::new(spec, SimTime::ZERO, 4_000, tree.fork("viewer", 0));
+        let mut v = 0u64;
+        b.iter(|| {
+            let ev = m.step();
+            if ev.is_none() {
+                // Machine reached Done; restart on the next viewer stream.
+                v += 1;
+                m = SessionMachine::new(spec, SimTime::ZERO, 4_000, tree.fork("viewer", v));
+            }
+            black_box(ev)
+        })
+    });
+}
+
 fn bench_disk_model(c: &mut Runner) {
     use tiger_disk::{Disk, DiskProfile, DiskRequest, RequestKind};
     use tiger_sim::RngTree;
@@ -517,6 +567,7 @@ fn main() {
     bench_trace(&mut c);
     bench_fault_check(&mut c);
     bench_proto_step(&mut c);
+    bench_workgen(&mut c);
     bench_disk_model(&mut c);
     c.finish();
 }

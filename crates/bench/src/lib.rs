@@ -20,6 +20,7 @@
 //! | `ablation_admission` | §5: the disabled admission-control code, re-enabled |
 //! | `hotspot` | §2.2: striping absorbs single-file demand spikes |
 //! | `chaos` | fault-injection campaigns (tiger-faults) checked against the Tiger invariants |
+//! | `workloads` | canonical tiger-workgen demand plans: blocking / conflict / churn under skew, surges, VCR churn, diurnal swing |
 //!
 //! Micro-benches for the schedule operations themselves live in `benches/`
 //! (the §5 premise that schedule management cost is negligible next to
@@ -30,6 +31,7 @@
 pub mod chaos;
 pub mod fleet;
 pub mod runner;
+pub mod workloads;
 
 use tiger_core::TigerConfig;
 use tiger_sim::SimDuration;

@@ -1,0 +1,266 @@
+//! The canonical workload-plan sweep: declarative `tiger-workgen` plans
+//! (skewed popularity, flash crowds, VCR churn, diurnal load, and a
+//! flash-crowd composed with a cub crash) driven through the fleet.
+//!
+//! Each point runs one plan at one seed. Demand-only plans go through
+//! [`tiger_workload::run_workgen`] and reduce to blocking-probability /
+//! ownership-conflict / deschedule-churn digests; the composed
+//! flashcrowd-crash plan goes through [`tiger_workload::run_chaos`] with
+//! the plan as the load phase, so the full chaos invariant set (1–6) is
+//! enforced under the surge. The flash-crowd plan also emits its
+//! blocking-probability curve — the §2.2 quantity the coded-storage
+//! comparison (PAPERS.md) optimizes.
+//!
+//! Every point is a pure function of `(plan, seed)`, so the sweep shards
+//! through [`run_indexed`] and its report is bit-identical at any thread
+//! count. Digest lines ending in `violations 0` pass; the `workloads` bin
+//! exits non-zero on any `VIOLATION` line.
+
+use std::fmt::Write as _;
+
+use tiger_sim::{SimDuration, SimTime};
+use tiger_workgen::WorkloadPlan;
+use tiger_workload::{
+    chaos_digest, run_chaos, run_workgen, workgen_digest, CatalogSpec, ChaosConfig, WorkgenConfig,
+};
+
+use crate::fleet::{run_indexed, ExpReport, Scale};
+
+/// One plan template: a stable name and the plan text at a given scale.
+type PlanTemplate = (&'static str, fn(Scale) -> String);
+
+/// The canonical plan catalogue, in the fixed order the report prints.
+pub fn plans() -> Vec<PlanTemplate> {
+    vec![
+        // Zipf-skewed demand near capacity: the head titles concentrate
+        // load; striping must keep it a non-event (§2.2).
+        ("zipf-hotspot", |s| match s {
+            Scale::Quick => "zipf s=1.1 titles=16\narrivals rate=0.45/s\n\
+                             viewers max=40\nhorizon t=60s"
+                .into(),
+            Scale::Full => "zipf s=1.1 titles=32\narrivals rate=0.6/s\n\
+                            viewers max=200\nhorizon t=180s"
+                .into(),
+        }),
+        // Correlated point-to-multipoint surge on one title — the
+        // worst case for declustered mirroring in the coded-storage
+        // comparison; blocking probability is the figure of merit.
+        ("flash-crowd", |s| match s {
+            Scale::Quick => "zipf s=1.1 titles=16\n\
+                             flashcrowd title=t0 at=30s peak=40x decay=15s\n\
+                             arrivals rate=0.3/s\nviewers max=150\nhorizon t=60s"
+                .into(),
+            Scale::Full => "zipf s=1.1 titles=32\n\
+                            flashcrowd title=t0 at=60s peak=50x decay=30s\n\
+                            arrivals rate=0.4/s\nviewers max=400\nhorizon t=180s"
+                .into(),
+        }),
+        // Heavy VCR interactivity: the §4.1.2 instance/deschedule
+        // machinery under constant pause/resume/seek churn.
+        ("vcr-heavy", |s| {
+            match s {
+            Scale::Quick => "uniform titles=8\narrivals rate=0.3/s\n\
+                             session interactive=0.6 pause=3/min dwell=8s seek=2/min abandon=0.5/min\n\
+                             viewers max=30\nhorizon t=60s"
+                .into(),
+            Scale::Full => "uniform titles=16\narrivals rate=0.5/s\n\
+                            session interactive=0.6 pause=3/min dwell=15s seek=2/min abandon=0.5/min\n\
+                            viewers max=150\nhorizon t=180s"
+                .into(),
+        }
+        }),
+        // A compressed day: load swings between peak and trough through
+        // two full periods; admission must track the swing cleanly.
+        ("diurnal-endurance", |s| match s {
+            Scale::Quick => "uniform titles=8\narrivals rate=0.5/s\n\
+                             diurnal period=80s trough=0.2\n\
+                             viewers max=60\nhorizon t=120s"
+                .into(),
+            Scale::Full => "uniform titles=16\narrivals rate=0.8/s\n\
+                            diurnal period=120s trough=0.15\n\
+                            viewers max=300\nhorizon t=240s"
+                .into(),
+        }),
+        // Demand surge composed with a fault plan: a cub dies at the
+        // crest of the flash crowd. Runs under the full chaos invariant
+        // set (1–6); the single clean crash keeps the loss-window bound
+        // (invariant 4) in force.
+        ("flashcrowd-crash", |s| match s {
+            Scale::Quick => "zipf s=1.1 titles=4\n\
+                             flashcrowd title=t0 at=30s peak=20x decay=15s\n\
+                             arrivals rate=0.2/s\nviewers max=60\nhorizon t=70s\n\
+                             fault crash c1 at=40s"
+                .into(),
+            Scale::Full => "zipf s=1.1 titles=4\n\
+                            flashcrowd title=t0 at=30s peak=30x decay=20s\n\
+                            arrivals rate=0.3/s\nviewers max=120\nhorizon t=70s\n\
+                            fault crash c1 at=40s"
+                .into(),
+        }),
+    ]
+}
+
+/// One sweep point's reduced result.
+struct PointResult {
+    digest: String,
+    violations: Vec<String>,
+    /// Blocking-probability curve (flash-crowd points only).
+    curve: Vec<(u64, u32, u32)>,
+}
+
+fn run_point(name: &str, text: &str, seed: u64) -> PointResult {
+    let plan = WorkloadPlan::parse(text).expect("canonical plan parses");
+    if plan.faults.is_empty() {
+        let mut cfg = WorkgenConfig::quick(plan);
+        cfg.tiger.seed = seed;
+        let out = run_workgen(&cfg);
+        PointResult {
+            digest: workgen_digest(&out),
+            violations: out.violations.clone(),
+            curve: if name == "flash-crowd" {
+                out.curve
+                    .iter()
+                    .map(|p| (p.t_secs, p.arrivals, p.blocked))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        }
+    } else {
+        // Composed plan: the chaos runner drives the demand and enforces
+        // invariants 1–6 against the embedded fault plan.
+        let mut cfg = ChaosConfig::quick(plan.faults.clone());
+        cfg.tiger.seed = seed;
+        cfg.catalog = CatalogSpec::sized_for(SimDuration::from_secs(200), plan.titles());
+        cfg.run_to = SimTime::ZERO + plan.horizon + SimDuration::from_secs(30);
+        cfg.workload = Some(plan);
+        let out = run_chaos(&cfg);
+        PointResult {
+            digest: chaos_digest(&out),
+            violations: out.violations,
+            curve: Vec::new(),
+        }
+    }
+}
+
+/// The workload sweep: plan × seed, optionally filtered to plans whose
+/// name contains `filter`.
+pub fn workloads_report(scale: Scale, threads: usize, filter: Option<&str>) -> ExpReport {
+    let all = plans();
+    let plans: Vec<&PlanTemplate> = all
+        .iter()
+        .filter(|(name, _)| filter.is_none_or(|f| name.contains(f)))
+        .collect();
+    let seeds: &[u64] = match scale {
+        Scale::Full => &[1997, 42],
+        Scale::Quick => &[1997],
+    };
+    let points: Vec<(usize, u64)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(p, _)| seeds.iter().map(move |&s| (p, s)))
+        .collect();
+    let results = run_indexed(points.len(), threads, |i| {
+        let (p, seed) = points[i];
+        let (name, tmpl) = plans[p];
+        run_point(name, &tmpl(scale), seed)
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan                seed  outcome ({} runs, small-test system)",
+        points.len()
+    );
+    let mut bad = 0usize;
+    for (&(p, seed), r) in points.iter().zip(&results) {
+        let _ = writeln!(out, "{:<18} {seed:>6}  {}", plans[p].0, r.digest);
+        for v in &r.violations {
+            bad += 1;
+            let _ = writeln!(out, "  VIOLATION: {v}");
+        }
+    }
+    // The flash-crowd blocking-probability curve (first seed): arrivals
+    // and blocked per bucket, the series plotted against the
+    // coded-storage yardstick.
+    if let Some((&(p, seed), r)) = points
+        .iter()
+        .zip(&results)
+        .find(|(&(p, _), r)| plans[p].0 == "flash-crowd" && !r.curve.is_empty())
+    {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "flash-crowd blocking-probability curve (plan {}, seed {seed}):",
+            plans[p].0
+        );
+        let _ = writeln!(out, "  t_bucket  arrivals  blocked  p_block");
+        for &(t, arrivals, blocked) in &r.curve {
+            let _ = writeln!(
+                out,
+                "  {t:>5}s  {arrivals:>8}  {blocked:>7}  {:>7.4}",
+                if arrivals > 0 {
+                    f64::from(blocked) / f64::from(arrivals)
+                } else {
+                    0.0
+                }
+            );
+        }
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "figures of merit: blocking probability (admitted, never served), \
+         ownership conflicts (vs-conflict), deschedule churn (desched-apply); \
+         the composed flashcrowd-crash plan runs under chaos invariants 1-6. \
+         violations: {bad}."
+    );
+    ExpReport {
+        name: "workloads",
+        output: out,
+        metrics: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_canonical_plan_parses_at_both_scales() {
+        for (name, tmpl) in plans() {
+            for scale in [Scale::Quick, Scale::Full] {
+                let plan = WorkloadPlan::parse(&tmpl(scale))
+                    .unwrap_or_else(|e| panic!("plan {name} at {scale:?}: {e}"));
+                assert!(plan.max_viewers > 0, "plan {name} admits nobody");
+            }
+        }
+        // The composed plan must actually embed a fault.
+        let composed = plans()
+            .into_iter()
+            .find(|(n, _)| *n == "flashcrowd-crash")
+            .expect("catalogue has the composed plan");
+        let plan = WorkloadPlan::parse(&(composed.1)(Scale::Quick)).unwrap();
+        assert!(!plan.faults.is_empty(), "composed plan lost its crash");
+    }
+
+    #[test]
+    fn workloads_report_is_thread_count_invariant() {
+        let one = workloads_report(Scale::Quick, 1, None);
+        let three = workloads_report(Scale::Quick, 3, None);
+        assert_eq!(one.output, three.output);
+        assert!(one.output.contains("violations: 0"), "{}", one.output);
+        assert!(
+            one.output.contains("blocking-probability curve"),
+            "flash-crowd curve missing:\n{}",
+            one.output
+        );
+    }
+
+    #[test]
+    fn filter_narrows_the_sweep() {
+        let only = workloads_report(Scale::Quick, 1, Some("diurnal"));
+        assert!(only.output.contains("diurnal-endurance"));
+        assert!(!only.output.contains("vcr-heavy"));
+    }
+}

@@ -33,6 +33,12 @@ pub struct ViewerRecord {
     pub first_send: Option<SimTime>,
     /// When the client asked to start.
     pub requested_at: SimTime,
+    /// A stop arrived while the start was still queued at a cub (no
+    /// committed slot yet). The stop cannot be routed — there is no slot
+    /// to deschedule — so it is remembered here and honoured the moment
+    /// the insertion commits. Dropping it instead would leak a zombie
+    /// stream: the cub would serve a viewer nobody can ever stop.
+    pub stop_wanted: bool,
 }
 
 /// The controller's state.
@@ -68,24 +74,31 @@ impl Controller {
                     slot: None,
                     first_send: None,
                     requested_at,
+                    stop_wanted: false,
                 },
             )
             .is_none()
     }
 
-    /// Records a commit notification from the inserting cub.
+    /// Records a commit notification from the inserting cub. Returns true
+    /// if a stop already arrived for the viewer while it was queued (the
+    /// stop/insert race): the caller must deschedule it immediately, now
+    /// that there finally is a slot to deschedule.
     pub fn on_insert_committed(
         &mut self,
         instance: ViewerInstance,
         slot: SlotId,
         first_send: SimTime,
-    ) {
+    ) -> bool {
         if let Some(rec) = self.viewers.get_mut(&instance) {
             if rec.slot.is_none() {
                 self.active_streams += 1;
             }
             rec.slot = Some(slot);
             rec.first_send = Some(first_send);
+            rec.stop_wanted
+        } else {
+            false
         }
     }
 
@@ -100,8 +113,14 @@ impl Controller {
         tracer: &mut Tracer,
     ) -> Option<(SlotId, CubId)> {
         self.requests.incr();
-        let rec = self.viewers.remove(&instance)?;
-        let slot = rec.slot?;
+        let rec = self.viewers.get_mut(&instance)?;
+        let Some(slot) = rec.slot else {
+            // The start is still queued at a cub — nothing to deschedule
+            // yet. Keep the record and honour the stop at commit time.
+            rec.stop_wanted = true;
+            return None;
+        };
+        self.viewers.remove(&instance);
         self.active_streams = self.active_streams.saturating_sub(1);
         // "The controller determines from which cub the viewer is receiving
         // data": the disk that will next cross the viewer's slot.
@@ -223,6 +242,29 @@ mod tests {
             .collect();
         times.sort();
         assert_eq!(cub, times[0].1);
+    }
+
+    #[test]
+    fn stop_before_commit_is_remembered_not_dropped() {
+        let p = params();
+        let mut c = Controller::new();
+        c.on_start_request(inst(4), FileId(0), 5, SimTime::ZERO);
+        // Stop while the start is still queued at a cub: unroutable now …
+        assert!(c
+            .on_stop_request(inst(4), &p, SimTime::from_secs(1), &mut Tracer::disabled())
+            .is_none());
+        // … but the record survives with the stop pinned to it.
+        assert!(c.viewer(&inst(4)).expect("record kept").stop_wanted);
+        // The commit reports the pending stop so the caller deschedules.
+        assert!(c.on_insert_committed(inst(4), SlotId(2), SimTime::from_secs(3)));
+        let (slot, _) = c
+            .on_stop_request(inst(4), &p, SimTime::from_secs(3), &mut Tracer::disabled())
+            .expect("routable once committed");
+        assert_eq!(slot, SlotId(2));
+        assert_eq!(c.active_streams(), 0, "commit+stop nets out");
+        // A normal lifecycle reports no pending stop at commit.
+        c.on_start_request(inst(5), FileId(0), 5, SimTime::ZERO);
+        assert!(!c.on_insert_committed(inst(5), SlotId(3), SimTime::from_secs(4)));
     }
 
     #[test]

@@ -477,6 +477,17 @@ impl TigerSystem {
         self.shared.queue.schedule(at, Event::FailCub { cub });
     }
 
+    /// Schedules a controller-attributed trace annotation at `at` —
+    /// experiment drivers use this to drop timeline markers (e.g. a
+    /// workload plan's flash-crowd onset) into the same ring buffer the
+    /// protocol events land in, so churn can be correlated against its
+    /// cause in one dump. A no-op unless tracing is enabled.
+    pub fn trace_note_at(&mut self, at: SimTime, ev: TraceEvent) {
+        self.shared
+            .queue
+            .schedule(at, Event::FaultNote { cub: CTRL, ev });
+    }
+
     /// Compiles and installs a declarative fault plan (see
     /// [`tiger_faults::FaultPlan`]): network injectors on the switch, disk
     /// injectors on each targeted drive, freeze windows on the event loop,
@@ -1257,42 +1268,7 @@ impl TigerSystem {
                 }
             }
             Message::StopRequest { instance } => {
-                if let Some((slot, cub)) = self.controller.on_stop_request(
-                    instance,
-                    &self.shared.params,
-                    now,
-                    &mut self.shared.tracer,
-                ) {
-                    if let Some(omni) = self.shared.omniscient.as_mut() {
-                        omni.on_remove(slot, instance, now);
-                    }
-                    let hops = self.deschedule_hops();
-                    let request = Deschedule { instance, slot };
-                    let ctrl = self.active_controller;
-                    let target = self.routed_target(cub);
-                    let target_node = self.shared.cub_node(target);
-                    self.shared.send_control(
-                        now,
-                        ctrl,
-                        target_node,
-                        Message::Deschedule {
-                            request,
-                            hops_left: hops,
-                        },
-                    );
-                    if let Some(succ) = self.next_living_for_controller(target) {
-                        let succ_node = self.shared.cub_node(succ);
-                        self.shared.send_control(
-                            now,
-                            ctrl,
-                            succ_node,
-                            Message::Deschedule {
-                                request,
-                                hops_left: hops,
-                            },
-                        );
-                    }
-                }
+                self.route_deschedule(now, instance);
             }
             Message::InsertCommitted {
                 instance,
@@ -1300,8 +1276,17 @@ impl TigerSystem {
                 first_send,
                 ..
             } => {
-                self.controller
-                    .on_insert_committed(instance, slot, first_send);
+                if self
+                    .controller
+                    .on_insert_committed(instance, slot, first_send)
+                {
+                    // The viewer was stopped while its start was still
+                    // queued (the §4.1.3 stop/insert race). Now that a cub
+                    // has committed it into a slot, honour the stop —
+                    // otherwise the stream would play on with nobody left
+                    // to deschedule it.
+                    self.route_deschedule(now, instance);
+                }
             }
             Message::ViewerFinished { instance } => {
                 if let Some(rec) = self.controller.viewer(&instance) {
@@ -1320,6 +1305,50 @@ impl TigerSystem {
             }
             other => {
                 debug_assert!(false, "controller received unexpected message: {other:?}");
+            }
+        }
+    }
+
+    /// Routes a deschedule for `instance` if the controller knows its
+    /// slot: the cub whose disk next services the slot (plus its
+    /// successor) gets the kill. A viewer without a committed slot is
+    /// tombstoned inside [`Controller::on_stop_request`] and descheduled
+    /// when its `InsertCommitted` arrives.
+    fn route_deschedule(&mut self, now: SimTime, instance: ViewerInstance) {
+        if let Some((slot, cub)) = self.controller.on_stop_request(
+            instance,
+            &self.shared.params,
+            now,
+            &mut self.shared.tracer,
+        ) {
+            if let Some(omni) = self.shared.omniscient.as_mut() {
+                omni.on_remove(slot, instance, now);
+            }
+            let hops = self.deschedule_hops();
+            let request = Deschedule { instance, slot };
+            let ctrl = self.active_controller;
+            let target = self.routed_target(cub);
+            let target_node = self.shared.cub_node(target);
+            self.shared.send_control(
+                now,
+                ctrl,
+                target_node,
+                Message::Deschedule {
+                    request,
+                    hops_left: hops,
+                },
+            );
+            if let Some(succ) = self.next_living_for_controller(target) {
+                let succ_node = self.shared.cub_node(succ);
+                self.shared.send_control(
+                    now,
+                    ctrl,
+                    succ_node,
+                    Message::Deschedule {
+                        request,
+                        hops_left: hops,
+                    },
+                );
             }
         }
     }
@@ -1430,6 +1459,16 @@ impl TigerSystem {
             viewer: instance.viewer,
             incarnation: instance.incarnation + 1,
         };
+        self.shared.tracer.record(
+            now,
+            CTRL,
+            TraceEvent::SessionTransition {
+                viewer: resumed.viewer.raw(),
+                inc: resumed.incarnation,
+                kind: 1,
+                to_block: resume_at,
+            },
+        );
         self.on_client_start(now, client, file, resume_at, resumed);
     }
 
@@ -1448,6 +1487,16 @@ impl TigerSystem {
             viewer: instance.viewer,
             incarnation: instance.incarnation + 1,
         };
+        self.shared.tracer.record(
+            now,
+            CTRL,
+            TraceEvent::SessionTransition {
+                viewer: moved.viewer.raw(),
+                inc: moved.incarnation,
+                kind: 2,
+                to_block,
+            },
+        );
         self.on_client_start(now, client, file, to_block, moved);
     }
 

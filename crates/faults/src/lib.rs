@@ -31,6 +31,6 @@ pub use invariants::{
     ObservedDeclare, ObservedStall,
 };
 pub use plan::{
-    DiskFault, DiskFaultKind, FaultPlan, FaultWindow, LinkFault, NodeSel, Partition, ProcessFault,
-    RestripeDecl, Topology,
+    parse_duration, DiskFault, DiskFaultKind, FaultPlan, FaultWindow, LinkFault, NodeSel,
+    Partition, ProcessFault, RestripeDecl, Topology,
 };

@@ -497,7 +497,9 @@ impl FaultPlan {
 
 // --- Text format -------------------------------------------------------------
 
-/// Parses `2s`, `250ms`, `1.5s`, `40us`, `7ns` into a duration.
+/// Parses `2s`, `250ms`, `1.5s`, `40us`, `7ns`, `30min`, `24h` into a
+/// duration. The long units exist for workload plans (diurnal periods,
+/// endurance horizons); fault plans usually stay in seconds.
 pub fn parse_duration(tok: &str) -> Result<SimDuration, String> {
     let (num, scale) = if let Some(n) = tok.strip_suffix("ms") {
         (n, 1_000_000.0)
@@ -505,10 +507,14 @@ pub fn parse_duration(tok: &str) -> Result<SimDuration, String> {
         (n, 1_000.0)
     } else if let Some(n) = tok.strip_suffix("ns") {
         (n, 1.0)
+    } else if let Some(n) = tok.strip_suffix("min") {
+        (n, 60.0 * 1_000_000_000.0)
+    } else if let Some(n) = tok.strip_suffix('h') {
+        (n, 3_600.0 * 1_000_000_000.0)
     } else if let Some(n) = tok.strip_suffix('s') {
         (n, 1_000_000_000.0)
     } else {
-        return Err(format!("time {tok:?} needs a unit (s/ms/us/ns)"));
+        return Err(format!("time {tok:?} needs a unit (h/min/s/ms/us/ns)"));
     };
     let v: f64 = num
         .parse()
@@ -816,6 +822,15 @@ power-domain c1,c2 at=9s
             SimDuration::from_nanos(40_000)
         );
         assert_eq!(parse_duration("7ns").unwrap(), SimDuration::from_nanos(7));
+        assert_eq!(parse_duration("2min").unwrap(), SimDuration::from_secs(120));
+        assert_eq!(
+            parse_duration("1.5h").unwrap(),
+            SimDuration::from_secs(5_400)
+        );
+        assert_eq!(
+            parse_duration("24h").unwrap(),
+            SimDuration::from_secs(86_400)
+        );
         assert!(parse_duration("5").is_err(), "unit required");
         assert!(parse_duration("-1s").is_err());
     }

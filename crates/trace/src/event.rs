@@ -212,6 +212,14 @@ trace_events! {
     /// All moves committed: the system cut over to the new stripe layout
     /// after moving `moved` blocks.
     RestripeCutover => "restripe-cutover" { moved: u32 },
+    /// A workload plan's flash crowd reached its onset: demand on `title`
+    /// surges to `peak_x10`/10 × its base rate (recorded by the workload
+    /// driver, not the system — a timeline marker for correlating churn).
+    WorkgenBurst => "workgen-burst" { title: u32, peak_x10: u32 },
+    /// A viewer's session machine restarted delivery: `kind` 1 = resume
+    /// after a pause (at the high-water mark), 2 = seek. `to_block` is
+    /// where the new incarnation `inc` starts.
+    SessionTransition => "session-transition" { viewer: u64, inc: u32, kind: u32, to_block: u32 },
 }
 
 /// One recorded event: global ring sequence number, simulation time, and
@@ -506,6 +514,22 @@ mod tests {
             (CTRL, TraceEvent::RestripeStart { moves: 96 }),
             (CTRL, TraceEvent::RestripeStall { pending: 4 }),
             (CTRL, TraceEvent::RestripeCutover { moved: 96 }),
+            (
+                CTRL,
+                TraceEvent::WorkgenBurst {
+                    title: 7,
+                    peak_x10: 400,
+                },
+            ),
+            (
+                0,
+                TraceEvent::SessionTransition {
+                    viewer: 4,
+                    inc: 1,
+                    kind: 2,
+                    to_block: 120,
+                },
+            ),
         ]
     }
 

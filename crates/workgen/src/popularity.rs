@@ -1,0 +1,278 @@
+//! Per-title popularity: Zipf/uniform base distribution sampled through a
+//! Vose alias table, with time-varying flash-crowd overlays.
+//!
+//! The alias table makes the base sample O(1) — one `gen_range` for the
+//! column and one `gen_f64` against the column's cutoff — regardless of
+//! catalog size, which is what lets the popularity micro-bench sit in the
+//! nanoseconds. Flash crowds are an *additive* overlay: crowd `c`
+//! contributes excess weight `e_c(t) = share_c · (peak_c − 1) ·
+//! exp(−(t − at_c)/decay_c)` for `t ≥ at_c`, where `share_c` is the hot
+//! title's base share — i.e. at onset the hot title's demand is `peak_c`
+//! times its base demand, relaxing back exponentially. The sampler draws
+//! `u ∈ [0, 1 + Σ e_c(t))`: the `[0, 1)` slice lands in the base alias
+//! table, the rest walks the (tiny) crowd list.
+
+use tiger_sim::{SimRng, SimTime};
+
+use crate::plan::{FlashCrowd, PopularitySpec};
+
+/// Walker/Vose alias table over `n` weights: O(n) build, O(1) sample.
+#[derive(Clone, Debug)]
+struct AliasTable {
+    /// Probability of staying in column `i` (scaled to [0, 1]).
+    prob: Vec<f64>,
+    /// Where a rejected draw in column `i` lands instead.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        // Scale so the average column holds exactly 1.0.
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        // Stacks are filled in index order and drained LIFO: deterministic.
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut scaled = scaled;
+        while !small.is_empty() && !large.is_empty() {
+            let (s, l) = (small.pop().unwrap(), large.pop().unwrap());
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Float residue: whatever is left fills its own column.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    #[inline]
+    fn sample(&self, rng: &mut SimRng) -> u32 {
+        let col = rng.gen_range(0..self.prob.len() as u32);
+        if rng.gen_f64() < self.prob[col as usize] {
+            col
+        } else {
+            self.alias[col as usize]
+        }
+    }
+}
+
+/// A compiled flash crowd: the hot title plus its precomputed excess-weight
+/// parameters (relative to a base distribution summing to 1).
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledCrowd {
+    /// The hot title's rank.
+    pub title: u32,
+    /// Onset instant.
+    pub at: SimTime,
+    /// Excess weight at onset: `share · (peak − 1)`.
+    pub excess0: f64,
+    /// Decay time constant, seconds.
+    pub decay_secs: f64,
+}
+
+impl CompiledCrowd {
+    /// Excess weight at time `t` (0 before onset).
+    #[inline]
+    pub fn excess(&self, t: SimTime) -> f64 {
+        if t < self.at {
+            return 0.0;
+        }
+        let dt = (t - self.at).as_secs_f64();
+        self.excess0 * (-dt / self.decay_secs).exp()
+    }
+}
+
+/// The compiled popularity model: base alias table + flash-crowd overlays.
+#[derive(Clone, Debug)]
+pub struct Popularity {
+    base: AliasTable,
+    crowds: Vec<CompiledCrowd>,
+    titles: u32,
+}
+
+impl Popularity {
+    /// Builds the model from a base spec plus flash-crowd overlays.
+    pub fn new(spec: &PopularitySpec, crowds: &[FlashCrowd]) -> Self {
+        let titles = spec.titles();
+        let weights: Vec<f64> = match *spec {
+            PopularitySpec::Uniform { titles } => vec![1.0; titles as usize],
+            PopularitySpec::Zipf { s, titles } => (0..titles)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+                .collect(),
+        };
+        let total: f64 = weights.iter().sum();
+        let compiled = crowds
+            .iter()
+            .map(|c| {
+                let share = weights[c.title as usize] / total;
+                CompiledCrowd {
+                    title: c.title,
+                    at: c.at,
+                    excess0: share * (c.peak - 1.0),
+                    decay_secs: c.decay.as_secs_f64(),
+                }
+            })
+            .collect();
+        Popularity {
+            base: AliasTable::new(&weights),
+            crowds: compiled,
+            titles,
+        }
+    }
+
+    /// Number of titles in the catalog.
+    pub fn titles(&self) -> u32 {
+        self.titles
+    }
+
+    /// The compiled crowd overlays (the arrival process shares them so the
+    /// surge population and the surge title choice stay consistent).
+    pub fn crowd_rates(&self) -> Vec<CompiledCrowd> {
+        self.crowds.clone()
+    }
+
+    /// Total excess weight from active crowds at `t`.
+    #[inline]
+    pub fn excess(&self, t: SimTime) -> f64 {
+        self.crowds.iter().map(|c| c.excess(t)).sum()
+    }
+
+    /// Samples a title at time `t`. With no active crowds this is exactly
+    /// one alias-table draw.
+    #[inline]
+    pub fn sample(&self, t: SimTime, rng: &mut SimRng) -> u32 {
+        if self.crowds.is_empty() {
+            return self.base.sample(rng);
+        }
+        let extra = self.excess(t);
+        // u < 1 lands in the base distribution; the tail picks a crowd in
+        // proportion to its current excess. One uniform decides which —
+        // the base path still burns the same two draws as the no-crowd
+        // case only when it falls through to the alias table, keeping the
+        // draw count per call time-dependent but replay-deterministic
+        // (the same t always consumes the same number of draws).
+        let u = rng.gen_f64() * (1.0 + extra);
+        if u < 1.0 {
+            return self.base.sample(rng);
+        }
+        let mut rest = u - 1.0;
+        for c in &self.crowds {
+            let e = c.excess(t);
+            if rest < e {
+                return c.title;
+            }
+            rest -= e;
+        }
+        // Float residue at the very top of the range: fall back to base.
+        self.base.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiger_sim::{RngTree, SimDuration};
+
+    fn counts(pop: &Popularity, t: SimTime, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = RngTree::new(seed).fork("pop-test", 0);
+        let mut c = vec![0u64; pop.titles() as usize];
+        for _ in 0..n {
+            c[pop.sample(t, &mut rng) as usize] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let pop = Popularity::new(&PopularitySpec::Uniform { titles: 8 }, &[]);
+        let c = counts(&pop, SimTime::ZERO, 80_000, 11);
+        for &k in &c {
+            let dev = (k as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(dev < 0.05, "uniform deviates: {c:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_equals_uniform() {
+        // s = 0 must produce the identical draw sequence to uniform.
+        let z = Popularity::new(&PopularitySpec::Zipf { s: 0.0, titles: 8 }, &[]);
+        let u = Popularity::new(&PopularitySpec::Uniform { titles: 8 }, &[]);
+        let mut ra = RngTree::new(3).fork("z", 0);
+        let mut rb = RngTree::new(3).fork("z", 0);
+        for _ in 0..1_000 {
+            assert_eq!(
+                z.sample(SimTime::ZERO, &mut ra),
+                u.sample(SimTime::ZERO, &mut rb)
+            );
+        }
+    }
+
+    #[test]
+    fn single_title_is_constant() {
+        let pop = Popularity::new(&PopularitySpec::Zipf { s: 1.2, titles: 1 }, &[]);
+        let mut rng = RngTree::new(5).fork("one", 0);
+        for _ in 0..100 {
+            assert_eq!(pop.sample(SimTime::ZERO, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_boosts_then_decays() {
+        let crowd = FlashCrowd {
+            title: 3,
+            at: SimTime::from_secs(100),
+            peak: 40.0,
+            decay: SimDuration::from_secs(20),
+        };
+        let pop = Popularity::new(&PopularitySpec::Uniform { titles: 8 }, &[crowd]);
+        // Before onset: flat.
+        let before = counts(&pop, SimTime::from_secs(50), 40_000, 17);
+        let share_before = before[3] as f64 / 40_000.0;
+        assert!((share_before - 0.125).abs() < 0.02, "{before:?}");
+        // At onset: hot title at ~peak× its base share.
+        // share' = (1/8 · 40) / (1 + 1/8 · 39) ≈ 0.85.
+        let at = counts(&pop, SimTime::from_secs(100), 40_000, 17);
+        let share_at = at[3] as f64 / 40_000.0;
+        assert!((share_at - 0.845).abs() < 0.03, "{at:?}");
+        // Ten decay constants later: back to flat.
+        let after = counts(&pop, SimTime::from_secs(300), 40_000, 17);
+        let share_after = after[3] as f64 / 40_000.0;
+        assert!((share_after - 0.125).abs() < 0.02, "{after:?}");
+    }
+
+    #[test]
+    fn alias_table_matches_exact_weights() {
+        // A deliberately lopsided 3-weight table: shares must converge to
+        // the normalized weights.
+        let pop = Popularity::new(&PopularitySpec::Zipf { s: 2.0, titles: 3 }, &[]);
+        let c = counts(&pop, SimTime::ZERO, 120_000, 23);
+        let total: f64 = (0..3).map(|i| 1.0 / ((i + 1) as f64).powi(2)).sum();
+        for (i, &k) in c.iter().enumerate() {
+            let want = (1.0 / ((i + 1) as f64).powi(2)) / total;
+            let got = k as f64 / 120_000.0;
+            assert!(
+                (got - want).abs() < 0.01,
+                "title {i}: want {want:.3} got {got:.3}"
+            );
+        }
+    }
+}

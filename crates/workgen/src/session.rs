@@ -1,0 +1,280 @@
+//! The per-viewer session machine: play / pause / resume / seek / abandon
+//! with hazard-rate dwell times.
+//!
+//! A viewer is either **passive** (plays straight through; the common
+//! case) or **interactive**, decided by one Bernoulli draw at session
+//! start. An interactive viewer in the Playing state faces three
+//! competing exponential hazards — pause, seek, abandon — so the dwell
+//! until the next operation is `Exp(1/(λ_p + λ_s + λ_a))` and the
+//! operation is chosen in proportion to its rate (the standard
+//! competing-risks decomposition; this is what lets one `step` stay at
+//! two-to-three RNG draws). Paused viewers resume after an
+//! `Exp(dwell_mean)` think time; seeks land on a uniformly random block;
+//! abandon ends the session for good.
+//!
+//! Each viewer's draws come from its own stream, forked by arrival
+//! ordinal — so viewer k's script never depends on how many other
+//! viewers exist or on scheduling order, which is what keeps fleet runs
+//! bit-identical at any thread count.
+
+use tiger_sim::rng::sample_exponential;
+use tiger_sim::{RngTree, SimDuration, SimRng, SimTime};
+
+use crate::plan::SessionSpec;
+
+/// One VCR operation the driver should apply to the viewer's stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionOp {
+    /// Stop delivering; the viewer intends to come back.
+    Pause,
+    /// Restart from the high-water mark.
+    Resume,
+    /// Jump to `to_block` (uniform over the file).
+    Seek {
+        /// Target block index within the file.
+        to_block: u32,
+    },
+    /// Abandon the session; no further ops.
+    Stop,
+}
+
+/// A scheduled operation in a viewer's script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionEvent {
+    /// When the viewer performs the op.
+    pub at: SimTime,
+    /// What they do.
+    pub op: SessionOp,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Playing,
+    Paused,
+    Done,
+}
+
+/// The stepping core: one viewer's state plus its RNG stream. Exposed so
+/// the micro-bench can time a single transition; drivers normally use
+/// [`SessionSampler::script`].
+#[derive(Clone, Debug)]
+pub struct SessionMachine {
+    spec: SessionSpec,
+    state: State,
+    now: SimTime,
+    file_blocks: u32,
+    rng: SimRng,
+}
+
+impl SessionMachine {
+    /// A machine for one interactive viewer starting at `t0` on a file of
+    /// `file_blocks` blocks.
+    pub fn new(spec: SessionSpec, t0: SimTime, file_blocks: u32, rng: SimRng) -> Self {
+        SessionMachine {
+            spec,
+            state: State::Playing,
+            now: t0,
+            file_blocks: file_blocks.max(1),
+            rng,
+        }
+    }
+
+    /// Advances to the next transition and returns it, or `None` once the
+    /// viewer is done (abandoned, or no hazards are enabled).
+    #[inline]
+    pub fn step(&mut self) -> Option<SessionEvent> {
+        match self.state {
+            State::Done => None,
+            State::Paused => {
+                let dwell = sample_exponential(&mut self.rng, self.spec.dwell_mean.as_secs_f64());
+                self.now += SimDuration::from_secs_f64(dwell.max(1e-3));
+                self.state = State::Playing;
+                Some(SessionEvent {
+                    at: self.now,
+                    op: SessionOp::Resume,
+                })
+            }
+            State::Playing => {
+                let total = self.spec.pause_rate + self.spec.seek_rate + self.spec.abandon_rate;
+                if total <= 0.0 {
+                    self.state = State::Done;
+                    return None;
+                }
+                let dwell = sample_exponential(&mut self.rng, 1.0 / total);
+                self.now += SimDuration::from_secs_f64(dwell.max(1e-3));
+                // Competing risks: pick the hazard that fired.
+                let u = self.rng.gen_f64() * total;
+                let op = if u < self.spec.pause_rate {
+                    self.state = State::Paused;
+                    SessionOp::Pause
+                } else if u < self.spec.pause_rate + self.spec.seek_rate {
+                    SessionOp::Seek {
+                        to_block: self.rng.gen_range(0..self.file_blocks),
+                    }
+                } else {
+                    self.state = State::Done;
+                    SessionOp::Stop
+                };
+                Some(SessionEvent { at: self.now, op })
+            }
+        }
+    }
+}
+
+/// Hard cap on ops per viewer script: a pathological spec (huge hazard
+/// rates, long horizon) degrades to a truncated script instead of an
+/// unbounded event flood.
+pub const MAX_OPS_PER_VIEWER: usize = 64;
+
+/// Compiles per-viewer scripts from a [`SessionSpec`] and the `"session"`
+/// RNG subtree.
+#[derive(Clone, Debug)]
+pub struct SessionSampler {
+    spec: SessionSpec,
+    tree: RngTree,
+}
+
+impl SessionSampler {
+    pub(crate) fn new(spec: SessionSpec, tree: RngTree) -> Self {
+        SessionSampler { spec, tree }
+    }
+
+    /// The session spec this sampler compiles.
+    pub fn spec(&self) -> SessionSpec {
+        self.spec
+    }
+
+    /// The full op script for the viewer with arrival ordinal `viewer`,
+    /// starting at `t0` on a `file_blocks`-block file. Ops past `horizon`
+    /// are dropped (the driver's run window ends there anyway). Returns
+    /// an empty script for passive viewers — the interactive/passive coin
+    /// is flipped here, on the viewer's own stream.
+    pub fn script(
+        &self,
+        viewer: u64,
+        t0: SimTime,
+        file_blocks: u32,
+        horizon: SimTime,
+    ) -> Vec<SessionEvent> {
+        let mut rng = self.tree.fork("viewer", viewer);
+        if self.spec.interactive <= 0.0 || !rng.gen_bool(self.spec.interactive) {
+            return Vec::new();
+        }
+        let mut m = SessionMachine::new(self.spec, t0, file_blocks, rng);
+        let mut out = Vec::new();
+        while out.len() < MAX_OPS_PER_VIEWER {
+            match m.step() {
+                Some(ev) if ev.at <= horizon => out.push(ev),
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SessionSpec {
+        SessionSpec {
+            interactive: 1.0,
+            pause_rate: 3.0 / 60.0,
+            dwell_mean: SimDuration::from_secs(10),
+            seek_rate: 2.0 / 60.0,
+            abandon_rate: 0.5 / 60.0,
+        }
+    }
+
+    fn sampler(seed: u64, s: SessionSpec) -> SessionSampler {
+        SessionSampler::new(s, RngTree::new(seed).subtree("session", 0))
+    }
+
+    #[test]
+    fn scripts_are_well_formed() {
+        let s = sampler(1, spec());
+        let horizon = SimTime::from_secs(600);
+        let mut saw_ops = 0;
+        for v in 0..200u64 {
+            let script = s.script(v, SimTime::from_secs(1), 400, horizon);
+            saw_ops += script.len();
+            let mut prev = SimTime::ZERO;
+            let mut paused = false;
+            for ev in &script {
+                assert!(ev.at > prev, "ops strictly ordered: {script:?}");
+                assert!(ev.at <= horizon);
+                prev = ev.at;
+                match ev.op {
+                    SessionOp::Pause => {
+                        assert!(!paused, "pause while paused: {script:?}");
+                        paused = true;
+                    }
+                    SessionOp::Resume => {
+                        assert!(paused, "resume while playing: {script:?}");
+                        paused = false;
+                    }
+                    SessionOp::Seek { to_block } => {
+                        assert!(!paused, "seek while paused: {script:?}");
+                        assert!(to_block < 400);
+                    }
+                    SessionOp::Stop => {
+                        assert!(!paused);
+                        assert_eq!(ev, script.last().unwrap(), "stop ends the script");
+                    }
+                }
+            }
+        }
+        assert!(saw_ops > 200, "interactive viewers should generate ops");
+    }
+
+    #[test]
+    fn passive_spec_yields_empty_scripts() {
+        let s = sampler(2, SessionSpec::passive());
+        for v in 0..50u64 {
+            assert!(s
+                .script(v, SimTime::from_secs(1), 400, SimTime::from_secs(600))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn interactive_fraction_is_respected() {
+        let mut s = spec();
+        s.interactive = 0.4;
+        let sam = sampler(3, s);
+        let n = 2_000u64;
+        let interactive = (0..n)
+            .filter(|&v| {
+                !sam.script(v, SimTime::from_secs(1), 400, SimTime::from_secs(600))
+                    .is_empty()
+            })
+            .count();
+        let frac = interactive as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.05, "interactive fraction {frac}");
+    }
+
+    #[test]
+    fn scripts_depend_only_on_viewer_ordinal() {
+        let a = sampler(7, spec());
+        let b = sampler(7, spec());
+        for v in [0u64, 1, 9, 1_000] {
+            assert_eq!(
+                a.script(v, SimTime::from_secs(2), 300, SimTime::from_secs(500)),
+                b.script(v, SimTime::from_secs(2), 300, SimTime::from_secs(500)),
+            );
+        }
+    }
+
+    #[test]
+    fn pathological_rates_hit_the_op_cap() {
+        let s = SessionSpec {
+            interactive: 1.0,
+            pause_rate: 50.0,
+            dwell_mean: SimDuration::from_millis(10),
+            seek_rate: 50.0,
+            abandon_rate: 0.0,
+        };
+        let script = sampler(4, s).script(0, SimTime::from_secs(1), 100, SimTime::from_secs(600));
+        assert_eq!(script.len(), MAX_OPS_PER_VIEWER);
+    }
+}

@@ -67,8 +67,16 @@ pub struct ChaosConfig {
     pub tiger: TigerConfig,
     /// Content catalog.
     pub catalog: CatalogSpec,
-    /// Fraction of capacity to load before the faults begin.
+    /// Fraction of capacity to load before the faults begin (ignored when
+    /// `workload` is set).
     pub load: f64,
+    /// Optional declarative demand: when set, the load phase is driven by
+    /// this `tiger-workgen` plan (skewed popularity, flash crowds,
+    /// interactive sessions) instead of the uniform capacity ramp. The
+    /// plan's *embedded* fault plan is NOT applied — set `plan` to
+    /// `workload.faults` (or anything else) explicitly, so the invariants
+    /// below always see the faults they are checked against.
+    pub workload: Option<tiger_workgen::WorkloadPlan>,
     /// The fault plan to inject.
     pub plan: FaultPlan,
     /// How long to run.
@@ -90,6 +98,7 @@ impl ChaosConfig {
             tiger,
             catalog: CatalogSpec::sized_for(SimDuration::from_secs(200), 4),
             load: 0.5,
+            workload: None,
             plan,
             run_to: SimTime::from_secs(90),
             trace_cap: 65_536,
@@ -179,15 +188,19 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         let budget = plan.estimate_duration(half_inner, tiger.nic_capacity);
         (floor, budget)
     });
-    let mut chooser = RngTree::new(cfg.tiger.seed).fork("chaos-files", 0);
-    let capacity = sys.shared().params.capacity();
-    let want = ((capacity as f64) * cfg.load).round() as u32;
-    let mut now = SimTime::from_millis(100);
-    for _ in 0..want {
-        let client = sys.add_client();
-        let file = files[chooser.gen_range(0..files.len())];
-        sys.request_start(now, client, file);
-        now += SimDuration::from_millis(150);
+    if let Some(wplan) = &cfg.workload {
+        crate::driven::drive_plan(&mut sys, wplan, &files);
+    } else {
+        let mut chooser = RngTree::new(cfg.tiger.seed).fork("chaos-files", 0);
+        let capacity = sys.shared().params.capacity();
+        let want = ((capacity as f64) * cfg.load).round() as u32;
+        let mut now = SimTime::from_millis(100);
+        for _ in 0..want {
+            let client = sys.add_client();
+            let file = files[chooser.gen_range(0..files.len())];
+            sys.request_start(now, client, file);
+            now += SimDuration::from_millis(150);
+        }
     }
     sys.apply_fault_plan(&cfg.plan);
     sys.run_until(cfg.run_to);

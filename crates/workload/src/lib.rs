@@ -8,6 +8,7 @@
 
 pub mod catalog;
 pub mod chaos;
+pub mod driven;
 pub mod ramp;
 pub mod reconfig;
 pub mod report;
@@ -16,6 +17,9 @@ pub mod vcr;
 
 pub use catalog::{populate_catalog, CatalogSpec};
 pub use chaos::{chaos_digest, run_chaos, ChaosConfig, ChaosOutcome};
+pub use driven::{
+    drive_plan, run_workgen, workgen_digest, CurvePoint, DriveStats, WorkgenConfig, WorkgenOutcome,
+};
 pub use ramp::{run_ramp, RampConfig, RampResult};
 pub use reconfig::{run_reconfig, run_reconfig_with_plan, ReconfigConfig, ReconfigResult};
 pub use report::{format_ramp_table, format_startup_table};

@@ -36,7 +36,8 @@ cargo clippy --workspace -- -D warnings
 echo "== fleet smoke: quick fig8 ramp at 1 vs 2 threads" >&2
 FLEET_T1="$(mktemp)" FLEET_T2="$(mktemp)" FLEET_TRACED="$(mktemp)" DEMO_OUT="$(mktemp)"
 CHAOS_T1="$(mktemp)" CHAOS_T2="$(mktemp)"
-trap 'rm -f "$FLEET_T1" "$FLEET_T2" "$FLEET_TRACED" "$DEMO_OUT" "$CHAOS_T1" "$CHAOS_T2"' EXIT
+WORK_T1="$(mktemp)" WORK_T2="$(mktemp)" HOTSPOT_PLAN="$(mktemp)"
+trap 'rm -f "$FLEET_T1" "$FLEET_T2" "$FLEET_TRACED" "$DEMO_OUT" "$CHAOS_T1" "$CHAOS_T2" "$WORK_T1" "$WORK_T2" "$HOTSPOT_PLAN"' EXIT
 cargo run --release -q -p tiger-bench --bin fleet -- \
     --scale quick --filter fig8 --threads 1 > "$FLEET_T1" 2>/dev/null
 cargo run --release -q -p tiger-bench --bin fleet -- \
@@ -58,6 +59,28 @@ cargo run --release -q -p tiger-bench --bin chaos -- \
 cargo run --release -q -p tiger-bench --bin chaos -- \
     --scale quick --threads 2 > "$CHAOS_T2"
 cmp "$CHAOS_T1" "$CHAOS_T2"
+
+# Workload smoke: the canonical tiger-workgen plan sweep (Zipf hotspot,
+# flash crowd, VCR churn, diurnal swing, flashcrowd+crash under the chaos
+# invariants) must pass — the bin exits non-zero on any violation — and
+# produce bit-identical stdout at 1 and 2 worker threads (see
+# docs/WORKLOADS.md). Fatal — a divergence means workload randomness
+# leaked out of the "workgen" RNG subtree.
+echo "== workload smoke: quick plan sweep at 1 vs 2 threads" >&2
+cargo run --release -q -p tiger-bench --bin workloads -- \
+    --scale quick --threads 1 > "$WORK_T1"
+cargo run --release -q -p tiger-bench --bin workloads -- \
+    --scale quick --threads 2 > "$WORK_T2"
+cmp "$WORK_T1" "$WORK_T2"
+
+# Golden plan-driven hotspot: the hotspot bench driven by the checked-in
+# example plan must render exactly the checked-in table. Fatal — it pins
+# the plan grammar, the compiled-generator draw order, and the demand →
+# schedule coupling on a fixed seed all at once.
+echo "== workload smoke: hotspot --plan vs results/hotspot_plan.txt" >&2
+cargo run --release -q -p tiger-bench --bin hotspot -- \
+    --plan examples/workloads/zipf-hotspot.plan --scale quick > "$HOTSPOT_PLAN"
+cmp results/hotspot_plan.txt "$HOTSPOT_PLAN"
 
 # Traced smoke: the tracer is a pure observer, so the same fleet run with
 # tracing switched on must produce bit-identical stdout (see
@@ -96,7 +119,7 @@ cargo run --release -q -p tiger-rt --bin rt_conformance
 # not just the event queue) against the checked-in snapshot. Fatal — a
 # >10% median regression on a hot-path primitive fails the gate. On
 # hardware where timing is genuinely noisier, loosen the tolerance with
-# e.g. TIGER_BENCH_TOL=0.25 rather than skipping the gate.
+# e.g. TIGER_BENCH_TOL=25 (percent) rather than skipping the gate.
 echo "== bench compare vs BENCH_micro.json (fatal; TIGER_BENCH_TOL to loosen)" >&2
 scripts/bench_compare.sh
 

@@ -555,6 +555,42 @@ fn bench_disk_model(c: &mut Runner) {
     });
 }
 
+fn bench_coded(c: &mut Runner) {
+    use tiger_coded::{gf256, ReedSolomon};
+    c.bench_function("coded/gf256_mul", |b| {
+        let mut x = 1u8;
+        b.iter(|| {
+            x = gf256::mul(x, 29).wrapping_add(1);
+            black_box(x)
+        })
+    });
+    c.bench_function("coded/gf256_mul_acc_4k", |b| {
+        let src: Vec<u8> = (0..4096u32).map(|i| (i * 37 + 11) as u8).collect();
+        let mut dst = vec![0u8; 4096];
+        b.iter(|| {
+            gf256::mul_acc(&mut dst, &src, 0x53);
+            black_box(dst[0])
+        })
+    });
+    // The service-path geometry: the small-test backend's k = 2 of
+    // n = 4 code over one 250 kB Tiger block.
+    let rs = ReedSolomon::new(2, 4).expect("2-of-4 is a valid code");
+    let block: Vec<u8> = (0..250_000u32).map(|i| (i * 31 + 7) as u8).collect();
+    let shards = rs.encode(&block);
+    c.bench_function("coded/encode_250k_k2n4", |b| {
+        b.iter(|| black_box(rs.encode(&block).len()))
+    });
+    c.bench_function("coded/decode_parity_250k_k2n4", |b| {
+        // Worst case: no systematic shard survives — both survivors are
+        // parity, so decoding solves the full k x k system.
+        let have: Vec<(u32, &[u8])> = vec![(2, &shards[2][..]), (3, &shards[3][..])];
+        b.iter(|| {
+            let out = rs.decode(&have, block.len()).expect("any k decode");
+            black_box(out.len())
+        })
+    });
+}
+
 fn main() {
     let mut c = Runner::from_args();
     bench_slot_math(&mut c);
@@ -569,5 +605,6 @@ fn main() {
     bench_proto_step(&mut c);
     bench_workgen(&mut c);
     bench_disk_model(&mut c);
+    bench_coded(&mut c);
     c.finish();
 }

@@ -1,0 +1,62 @@
+//! Redundancy ablation: declustered mirroring vs the `tiger-coded`
+//! MDS-coded backend at equal (2x) storage overhead.
+//!
+//! ```text
+//! ablation_coded [--threads N] [--scale quick|full]
+//! ```
+//!
+//! Drives the canonical flash-crowd plan (blocking-probability curve,
+//! side by side) and the flashcrowd-crash plan (chaos invariants 1–6)
+//! against both backends. Stdout is bit-identical at any `--threads`
+//! count. Exits non-zero if the coded peak exceeds the mirrored peak or
+//! any chaos invariant is violated, so CI can gate on it.
+
+use std::process::exit;
+
+use tiger_bench::coded::ablation_coded_report;
+use tiger_bench::fleet::{threads_from_env, Scale};
+use tiger_bench::header;
+
+fn main() {
+    let mut threads = threads_from_env();
+    let mut scale = Scale::Quick;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .as_deref()
+                    .and_then(Scale::parse)
+                    .unwrap_or_else(|| usage("--scale needs 'quick' or 'full'"));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    header(
+        "Ablation: mirrored vs coded redundancy (flash crowd, equal storage)",
+        "declustered mirroring pins every degraded read to the fixed partner \
+         set; an MDS code serves it from any k surviving shards, chosen \
+         against the admission load index",
+    );
+    let report = ablation_coded_report(scale, threads);
+    print!("{}", report.output);
+    if report.output.contains("FAIL") || report.output.contains("VIOLATION") {
+        eprintln!("ablation_coded: check failed");
+        exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("ablation_coded: {msg}");
+    eprintln!("usage: ablation_coded [--threads N] [--scale quick|full]");
+    exit(2)
+}

@@ -1,0 +1,77 @@
+//! Consolidates several micro-bench runs into one conservative snapshot.
+//!
+//! ```text
+//! bench_merge RUN1.json RUN2.json ... > BENCH_micro.json
+//! ```
+//!
+//! For every benchmark, emits the run with the **largest median** — the
+//! pessimistic envelope. On a host with intermittent slow phases (shared
+//! 1-vCPU VMs routinely have 1.5-2x stretches), snapshotting a single
+//! lucky run makes every later `bench_compare` false-fire; taking the
+//! max-median over six-plus spaced runs bakes the slow phases into the
+//! baseline instead. Driven by `scripts/bench_snapshot.sh`.
+//!
+//! Exits non-zero if the runs don't all contain the same benchmark set,
+//! so a filtered or crashed run can't silently shrink the snapshot.
+
+use std::process::exit;
+
+use tiger_bench::runner::{parse_snapshot, results_json, BenchResult};
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.len() < 2 {
+        eprintln!("usage: bench_merge RUN1.json RUN2.json ... > BENCH_micro.json");
+        exit(2);
+    }
+    let runs: Vec<Vec<BenchResult>> = paths
+        .iter()
+        .map(|p| {
+            let json = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("bench_merge: cannot read {p}: {e}");
+                exit(2);
+            });
+            let results = parse_snapshot(&json);
+            if results.is_empty() {
+                eprintln!("bench_merge: no benchmarks found in {p}");
+                exit(2);
+            }
+            results
+        })
+        .collect();
+
+    // The first run fixes the benchmark set and order; every other run
+    // must cover exactly the same names.
+    let mut merged: Vec<BenchResult> = Vec::with_capacity(runs[0].len());
+    for base in &runs[0] {
+        let mut worst = base.clone();
+        for (run, path) in runs.iter().zip(&paths).skip(1) {
+            let Some(r) = run.iter().find(|r| r.name == base.name) else {
+                eprintln!("bench_merge: {path} is missing benchmark '{}'", base.name);
+                exit(1);
+            };
+            if r.median_ns > worst.median_ns {
+                worst = r.clone();
+            }
+        }
+        merged.push(worst);
+    }
+    for (run, path) in runs.iter().zip(&paths).skip(1) {
+        for r in run {
+            if !runs[0].iter().any(|b| b.name == r.name) {
+                eprintln!(
+                    "bench_merge: {path} has extra benchmark '{}' absent from {}",
+                    r.name, paths[0]
+                );
+                exit(1);
+            }
+        }
+    }
+
+    eprintln!(
+        "bench_merge: {} benchmarks, max-median over {} runs",
+        merged.len(),
+        runs.len()
+    );
+    print!("{}", results_json(&merged));
+}

@@ -168,12 +168,8 @@ fn main() {
     }
 
     if let Some(path) = plan_path {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("hotspot: cannot read plan {path}: {e}");
-            exit(2)
-        });
-        let plan = WorkloadPlan::parse(&text).unwrap_or_else(|e| {
-            eprintln!("hotspot: bad plan {path}: {e}");
+        let plan = tiger_workgen::load_plan_file(&path).unwrap_or_else(|e| {
+            eprintln!("hotspot: {e}");
             exit(2)
         });
         header(

@@ -18,6 +18,7 @@
 //! | `ablation_mbr` | §4.2: two-phase insertion latency hiding (call- and message-level) |
 //! | `ablation_deadman` | §5: loss window vs deadman timeout |
 //! | `ablation_admission` | §5: the disabled admission-control code, re-enabled |
+//! | `ablation_coded` | coded vs mirrored redundancy under the flash crowd, equal storage (docs/CODED.md) |
 //! | `hotspot` | §2.2: striping absorbs single-file demand spikes |
 //! | `chaos` | fault-injection campaigns (tiger-faults) checked against the Tiger invariants |
 //! | `workloads` | canonical tiger-workgen demand plans: blocking / conflict / churn under skew, surges, VCR churn, diurnal swing |
@@ -29,6 +30,7 @@
 //! `BENCH_*.json` trajectory.
 
 pub mod chaos;
+pub mod coded;
 pub mod fleet;
 pub mod runner;
 pub mod workloads;

@@ -166,25 +166,7 @@ impl Runner {
     /// The JSON document for the collected results. Field order is stable
     /// (see [`BenchResult`]) so snapshots diff line-by-line across PRs.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, r) in self.results.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": {}, \"iters_per_sample\": {}, \"warmup_batches\": {}, \
-                 \"samples\": {}, \"threads\": {}, \
-                 \"min_ns\": {:.2}, \"median_ns\": {:.2}, \"mean_ns\": {:.2}}}{}\n",
-                json_string(&r.name),
-                r.iters_per_sample,
-                r.warmup_batches,
-                r.samples,
-                r.threads,
-                r.min_ns,
-                r.median_ns,
-                r.mean_ns,
-                if i + 1 < self.results.len() { "," } else { "" },
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        out
+        results_json(&self.results)
     }
 
     /// Prints the JSON document to stdout and, if `TIGER_BENCH_OUT` is
@@ -198,6 +180,31 @@ impl Runner {
             }
         }
     }
+}
+
+/// Serializes results to the `BENCH_*.json` snapshot format (the inverse
+/// of [`parse_snapshot`]); shared by the live [`Runner`] and the
+/// `bench_merge` snapshot consolidator.
+pub fn results_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"iters_per_sample\": {}, \"warmup_batches\": {}, \
+             \"samples\": {}, \"threads\": {}, \
+             \"min_ns\": {:.2}, \"median_ns\": {:.2}, \"mean_ns\": {:.2}}}{}\n",
+            json_string(&r.name),
+            r.iters_per_sample,
+            r.warmup_batches,
+            r.samples,
+            r.threads,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Parses a `BENCH_*.json` snapshot produced by [`Runner::to_json`].

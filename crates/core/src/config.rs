@@ -1,7 +1,7 @@
 //! System configuration.
 
 use tiger_disk::DiskProfile;
-use tiger_layout::StripeConfig;
+use tiger_layout::{RedundancyMode, StripeConfig};
 use tiger_net::LatencyModel;
 use tiger_sim::{Bandwidth, ByteSize, SimDuration};
 
@@ -91,6 +91,12 @@ pub struct TigerConfig {
     /// system"). Spares are powered machines with live disks that receive
     /// moved blocks during a live restripe and join the ring at cut-over.
     pub spare_cubs: u32,
+    /// Which redundancy backend stores and serves each block's secondary
+    /// data: the paper's declustered mirroring (the default — every
+    /// existing experiment is byte-identical under it) or the
+    /// `tiger-coded` network-coded backend, where a block is `2k` shards
+    /// and any `k` reconstruct it.
+    pub redundancy: RedundancyMode,
 }
 
 impl TigerConfig {
@@ -122,6 +128,7 @@ impl TigerConfig {
             backup_controller: false,
             controller_failover_timeout: SimDuration::from_secs(3),
             spare_cubs: 0,
+            redundancy: RedundancyMode::Mirrored,
         }
     }
 
@@ -139,14 +146,22 @@ impl TigerConfig {
         }
     }
 
-    /// The worst-case per-slot disk work implied by this configuration
-    /// (one primary read plus, if fault tolerant, one mirror-piece read).
+    /// The worst-case per-slot disk work implied by this configuration:
+    /// under mirroring, one primary read plus (if fault tolerant) one
+    /// mirror-piece read; under the coded backend, the `k` shard reads
+    /// that assemble every block (degraded service costs no extra — it
+    /// is the same `k` reads against fewer candidate holders).
     pub fn disk_worst_read(&self) -> SimDuration {
-        self.disk.worst_case_read(
-            self.block_size(),
-            self.stripe.decluster,
-            self.fault_tolerant,
-        )
+        match self.redundancy {
+            RedundancyMode::Mirrored => self.disk.worst_case_read(
+                self.block_size(),
+                self.stripe.decluster,
+                self.fault_tolerant,
+            ),
+            RedundancyMode::Coded => self
+                .disk
+                .worst_case_coded_read(self.block_size(), self.stripe.decluster),
+        }
     }
 
     /// Total cub machines built: striped members plus spares. Node
@@ -192,6 +207,17 @@ impl TigerConfig {
             self.deadman_timeout >= self.deadman_interval.mul_u64(2),
             "deadman timeout must allow at least two missed heartbeats"
         );
+        if self.redundancy == RedundancyMode::Coded {
+            assert!(
+                2 * self.stripe.decluster <= self.stripe.num_disks(),
+                "coded redundancy needs 2*decluster <= num_disks so a \
+                 block's 2k shards land on distinct disks"
+            );
+            assert!(
+                self.stripe.decluster <= 16,
+                "coded shard indices must fit the client's 32-bit piece mask"
+            );
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use tiger_trace::TraceEvent;
 use crate::config::ForwardingPolicy;
 use crate::event::{Event, ServiceToken};
 use crate::msg::Message;
-use crate::system::Shared;
+use crate::system::{CodedRuntime, Shared};
 
 pub use tiger_proto::insert::PendingStart;
 
@@ -52,12 +52,26 @@ struct ServiceKey {
 enum KindKey {
     Primary,
     Mirror(u32),
+    Coded(u32),
 }
 
 fn kind_key(k: StreamKind) -> KindKey {
     match k {
         StreamKind::Primary => KindKey::Primary,
         StreamKind::Mirror { piece, .. } => KindKey::Mirror(piece),
+        StreamKind::Coded { shard, .. } => KindKey::Coded(shard),
+    }
+}
+
+/// Per-block key under which the coded backend's load rings account a
+/// block's shard reservations: the play sequence number stands in for the
+/// incarnation, so consecutive blocks of one stream hold distinct
+/// reservations (their `2k`-disk windows overlap as the stream advances,
+/// and releasing one block must not free the next one's).
+fn coded_load_key(vs: &ViewerState) -> ViewerInstance {
+    ViewerInstance {
+        viewer: vs.instance.viewer,
+        incarnation: vs.play_seq,
     }
 }
 
@@ -491,6 +505,9 @@ impl Cub {
             StreamKind::Mirror { failed_disk, piece } => {
                 self.on_mirror_state(sh, now, vs, failed_disk, piece);
             }
+            StreamKind::Coded { home_disk, shard } => {
+                self.on_coded_state(sh, now, vs, home_disk, shard);
+            }
         }
     }
 
@@ -667,6 +684,19 @@ impl Cub {
                 .record(now, me, TraceEvent::RejoinDone { cub: me });
         }
         let meta = sh.catalog.get(vs.file).copied().expect("file known");
+        // Under the coded backend the home's primary extent is one shard
+        // (1/k of the block): a shorter read, a shorter paced send.
+        let (payload, send_duration) = match &sh.coded {
+            Some(c) => (
+                meta.payload_size
+                    .div_u64_ceil(u64::from(c.placement.k()))
+                    .as_bytes(),
+                sh.params
+                    .block_play_time()
+                    .div_u64(u64::from(c.placement.k())),
+            ),
+            None => (meta.payload_size.as_bytes(), sh.params.block_play_time()),
+        };
         let token = self.alloc_token();
         self.active.insert(
             token,
@@ -674,8 +704,8 @@ impl Cub {
                 vs,
                 sh.params.stripe().local_index_of(disk),
                 send_at,
-                sh.params.block_play_time(),
-                meta.payload_size.as_bytes(),
+                send_duration,
+                payload,
                 false,
             ),
         );
@@ -705,6 +735,9 @@ impl Cub {
             },
         );
         sh.metrics.loss.blocks_scheduled += 1;
+        if sh.coded.is_some() {
+            self.fan_out_coded(sh, now, vs, disk, send_at);
+        }
         // If waiting for the next periodic pass would let the successor's
         // lead fall below minVStateLead ("Cubs endeavor to keep the
         // schedule updated at least minVStateLead into the future"),
@@ -730,6 +763,10 @@ impl Cub {
         vs: ViewerState,
         failed_disk: DiskId,
     ) {
+        if sh.coded.is_some() {
+            self.cover_failed_disk_coded(sh, now, vs, failed_disk);
+            return;
+        }
         let created_key = (vs.slot, vs.instance, vs.position.raw());
         if self.mirrors_created.insert(created_key) {
             let (slot, viewer, inc) = vkey(&vs);
@@ -954,6 +991,292 @@ impl Cub {
         }
     }
 
+    // --- Coded-backend service (tiger-coded) --------------------------------
+
+    /// Coded-backend fan-out, run by the home after it accepts a block's
+    /// primary record: the home's own entry serves shard 0 from its
+    /// primary region; the other `k − 1` of the block's `k` sends are
+    /// assigned to holders chosen from the `2k − 1` remote shard disks by
+    /// the per-disk load index — mirroring's fixed partner lookup becomes
+    /// an admission-aware choice. Chosen holders are driven by unicast
+    /// coded viewer states, and the block's send window is reserved on
+    /// every participating disk so later choices see this one's load.
+    fn fan_out_coded(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        vs: ViewerState,
+        home: DiskId,
+        block_due: SimTime,
+    ) {
+        let (k, n) = match sh.coded.as_ref() {
+            Some(c) => (c.placement.k(), c.placement.n()),
+            None => return,
+        };
+        let stripe = sh.params.stripe();
+        // Rank candidates: believed-alive holders, least loaded at the
+        // block's ring position first, shard index breaking ties. Every
+        // input is deterministic, so the choice is too.
+        let mut ranked: Vec<(u64, u32)> = Vec::new();
+        if let Some(c) = sh.coded.as_ref() {
+            for j in 1..n {
+                let d = stripe.disk_after(home, j);
+                if self.ring.believes_failed(stripe.cub_of(d)) {
+                    continue;
+                }
+                ranked.push((c.load_at(d, block_due).bits_per_sec(), j));
+            }
+        }
+        ranked.sort_unstable();
+        let want = k as usize - 1;
+        if ranked.len() < want {
+            // Too few surviving holders to assemble the block: the sends
+            // that do go out cannot complete it at the client.
+            sh.metrics.loss.failover_lost += 1;
+        }
+        ranked.truncate(want);
+        let key = coded_load_key(&vs);
+        if let Some(c) = sh.coded.as_mut() {
+            c.reserve(home, key, block_due, vs.bitrate);
+            for &(_, j) in &ranked {
+                let d = stripe.disk_after(home, j);
+                c.reserve(d, key, block_due, vs.bitrate);
+            }
+        }
+        let me = sh.cub_node(self.id);
+        for (_, j) in ranked {
+            let mut cvs = vs;
+            cvs.kind = StreamKind::Coded {
+                home_disk: home,
+                shard: j,
+            };
+            let holder_cub = stripe.cub_of(stripe.disk_after(home, j));
+            if holder_cub == self.id {
+                self.on_coded_state(sh, now, cvs, home, j);
+            } else {
+                sh.send_control(now, me, sh.cub_node(holder_cub), Message::ViewerState(cvs));
+            }
+        }
+    }
+
+    /// Acting-successor cover under the coded backend: shard 0 died with
+    /// the home, so pick `k` of the block's surviving remote shard
+    /// holders — by the same load-ranked choice the home makes in healthy
+    /// operation — and drive them with coded viewer states, then keep the
+    /// record propagating past the failed machine.
+    fn cover_failed_disk_coded(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        vs: ViewerState,
+        failed_disk: DiskId,
+    ) {
+        let created_key = (vs.slot, vs.instance, vs.position.raw());
+        if self.mirrors_created.insert(created_key) {
+            let (slot, viewer, inc) = vkey(&vs);
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::CodedRepair {
+                    slot,
+                    viewer,
+                    inc,
+                    failed_disk: failed_disk.raw(),
+                },
+            );
+            sh.metrics.loss.blocks_scheduled += 1;
+            let (k, n) = sh
+                .coded
+                .as_ref()
+                .map(|c| (c.placement.k(), c.placement.n()))
+                .expect("coded mode");
+            let stripe = sh.params.stripe();
+            let block_due = sh.params.slot_send_time(failed_disk, vs.slot, now);
+            let mut ranked: Vec<(u64, u32)> = Vec::new();
+            if let Some(c) = sh.coded.as_ref() {
+                for j in 1..n {
+                    let d = stripe.disk_after(failed_disk, j);
+                    if self.ring.believes_failed(stripe.cub_of(d)) {
+                        continue;
+                    }
+                    ranked.push((c.load_at(d, block_due).bits_per_sec(), j));
+                }
+            }
+            ranked.sort_unstable();
+            if ranked.len() < k as usize {
+                // Fewer than k surviving shards: the block is gone (the
+                // code's loss window), not worth partial sends.
+                sh.metrics.loss.failover_lost += 1;
+            } else {
+                ranked.truncate(k as usize);
+                let me = sh.cub_node(self.id);
+                for (_, j) in ranked {
+                    let mut cvs = vs;
+                    cvs.kind = StreamKind::Coded {
+                        home_disk: failed_disk,
+                        shard: j,
+                    };
+                    let holder_cub = stripe.cub_of(stripe.disk_after(failed_disk, j));
+                    if holder_cub == self.id {
+                        self.on_coded_state(sh, now, cvs, failed_disk, j);
+                    } else {
+                        sh.send_control(
+                            now,
+                            me,
+                            sh.cub_node(holder_cub),
+                            Message::ViewerState(cvs),
+                        );
+                    }
+                }
+            }
+        }
+        // Continue normal propagation past the failed machine (§2.3), the
+        // same advance the mirror cover makes.
+        self.on_primary_state(sh, now, vs.advanced(1));
+    }
+
+    /// Accepts unicast coded-shard service: this cub holds `shard` of the
+    /// block homed on `home_disk` and was chosen by the block's
+    /// coordinator (the home in healthy operation, the acting successor
+    /// after a failure) to deliver it.
+    ///
+    /// Unlike mirror viewer states, coded records do not chain along a
+    /// piece ring: the coordinator picked the exact holders, so each
+    /// record is final and never forwarded.
+    fn on_coded_state(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        mut vs: ViewerState,
+        home_disk: DiskId,
+        shard: u32,
+    ) {
+        let Some((k, n)) = sh
+            .coded
+            .as_ref()
+            .map(|c| (c.placement.k(), c.placement.n()))
+        else {
+            return; // Stray coded record under mirroring.
+        };
+        if shard == 0 || shard >= n {
+            return;
+        }
+        let stripe = sh.params.stripe();
+        let holder = stripe.disk_after(home_disk, shard);
+        if stripe.cub_of(holder) != self.id {
+            return; // Misrouted copy.
+        }
+        vs.kind = StreamKind::Coded { home_disk, shard };
+        match self.view.apply_viewer_state(vs, now) {
+            ViewApply::Inserted | ViewApply::Updated => {}
+            _ => return,
+        }
+        let key = ServiceKey {
+            slot: vs.slot,
+            instance: vs.instance,
+            kind: KindKey::Coded(shard),
+            play_seq: vs.play_seq,
+        };
+        if self.by_key.contains_key(&key) {
+            return;
+        }
+        let block_due = sh.params.slot_send_time(home_disk, vs.slot, now);
+        let (slot, viewer, inc) = vkey(&vs);
+        // Same staleness rule as primary and mirror acceptance.
+        let max_legit_lead = sh.cfg.max_vstate_lead
+            + sh.params
+                .block_play_time()
+                .mul_u64(u64::from(stripe.decluster) + 1);
+        if max_legit_lead < sh.params.schedule_len()
+            && block_due.saturating_since(now) > max_legit_lead
+        {
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::VsLate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
+            sh.metrics.loss.failover_lost += 1;
+            self.view.retire(vs.slot, &vs);
+            return;
+        }
+        // Shard sends stagger across the block play time by shard index,
+        // so whichever subset the coordinator picked, every send fits in
+        // the block's play window: the highest possible shard (2k − 1)
+        // starts at bpt − bpt/k and ends exactly at block_due + bpt.
+        let shard_time = sh.params.block_play_time().div_u64(u64::from(k));
+        let gap = (sh.params.block_play_time() - shard_time).div_u64(u64::from(n - 1));
+        let send_at = block_due + gap.mul_u64(u64::from(shard));
+        if send_at <= now + SimDuration::from_millis(5) {
+            // Too late to read and send this shard.
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::VsLate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
+            sh.metrics.loss.failover_lost += 1;
+            self.view.retire(vs.slot, &vs);
+            return;
+        }
+        if self.ring.believes_failed(stripe.cub_of(home_disk)) {
+            // Degraded service: this shard stands in for data whose home
+            // machine is down.
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::DegradedPieceRead {
+                    slot,
+                    viewer,
+                    inc,
+                    shard,
+                },
+            );
+        }
+        let meta = sh.catalog.get(vs.file).copied().expect("file known");
+        let shard_payload = meta.payload_size.div_u64_ceil(u64::from(k));
+        let token = self.alloc_token();
+        self.active.insert(
+            token,
+            Active::new(
+                vs,
+                stripe.local_index_of(holder),
+                send_at,
+                shard_time,
+                shard_payload.as_bytes(),
+                true, // Coded records never forward: the fan-out is complete.
+            ),
+        );
+        self.by_key.insert(key, token);
+        // Like mirror reads: issue extra-early to ride out queueing
+        // convoys on disks already running near saturation.
+        let read_at = send_at
+            .saturating_sub(sh.cfg.scheduling_lead.mul_u64(3))
+            .max(now);
+        sh.queue.schedule(
+            read_at,
+            Event::ReadIssue {
+                cub: self.id,
+                token,
+            },
+        );
+        sh.queue.schedule(
+            send_at,
+            Event::SendDue {
+                cub: self.id,
+                token,
+            },
+        );
+    }
+
     // --- Disk service ------------------------------------------------------
 
     /// Issues the disk read for `token` (one scheduling lead early).
@@ -1012,6 +1335,10 @@ impl Cub {
                 self.index
                     .lookup_secondary(disk_id, entry.vs.file, entry.vs.position, piece)
             }
+            StreamKind::Coded { shard, .. } => {
+                self.index
+                    .lookup_secondary(disk_id, entry.vs.file, entry.vs.position, shard)
+            }
         };
         let Some(extent) = lookup else {
             // Content not on this disk (stale record after a restripe).
@@ -1025,7 +1352,8 @@ impl Cub {
             len: extent.length(),
             kind: match entry.vs.kind {
                 StreamKind::Primary => RequestKind::Primary,
-                StreamKind::Mirror { .. } => RequestKind::Mirror,
+                // Coded shards 1..2k live in the secondary region too.
+                StreamKind::Mirror { .. } | StreamKind::Coded { .. } => RequestKind::Mirror,
             },
         };
         match self.disks[local as usize].submit(now, req) {
@@ -1109,7 +1437,7 @@ impl Cub {
             entry.missed = true;
             sh.metrics.loss.failover_lost += 1;
             if self.active.get(&token).is_some_and(Active::finished) {
-                self.reclaim(now, token);
+                self.reclaim(now, token, sh.coded.as_mut());
             }
             return;
         }
@@ -1134,7 +1462,7 @@ impl Cub {
         }
         self.disks[disk_local as usize].complete(now);
         if self.active.get(&token).is_some_and(Active::finished) {
-            self.reclaim(now, token);
+            self.reclaim(now, token, sh.coded.as_mut());
         }
     }
 
@@ -1163,7 +1491,7 @@ impl Cub {
         if entry.missed {
             // The read path already declared this block lost.
             if entry.finished() {
-                self.reclaim(now, token);
+                self.reclaim(now, token, sh.coded.as_mut());
             }
             return;
         }
@@ -1178,7 +1506,7 @@ impl Cub {
             }
             entry.missed = true;
             if entry.finished() {
-                self.reclaim(now, token);
+                self.reclaim(now, token, sh.coded.as_mut());
             }
             return;
         }
@@ -1233,8 +1561,17 @@ impl Cub {
         sh.trace_net_injections(now);
         if let Some(at) = at {
             let (piece, total) = match entry.vs.kind {
-                StreamKind::Primary => (None, 1),
+                // Under the coded backend the home's primary send is
+                // shard 0 of the k the client assembles.
+                StreamKind::Primary => match &sh.coded {
+                    Some(c) => (Some(0), c.placement.k()),
+                    None => (None, 1),
+                },
                 StreamKind::Mirror { piece, .. } => (Some(piece), sh.params.stripe().decluster),
+                StreamKind::Coded { shard, .. } => (
+                    Some(shard),
+                    sh.coded.as_ref().map_or(1, |c| c.placement.k()),
+                ),
             };
             sh.queue.schedule(
                 at,
@@ -1255,7 +1592,7 @@ impl Cub {
             e.transmitting = false;
         }
         if self.active.get(&token).is_some_and(Active::finished) {
-            self.reclaim(now, token);
+            self.reclaim(now, token, sh.coded.as_mut());
         }
         // Otherwise forwarding has not happened yet (fresh inserts with
         // very short leads); the next forward pass reclaims the entry.
@@ -1263,8 +1600,11 @@ impl Cub {
 
     /// Removes a finished or cancelled service, returning its buffer.
     /// Serviced primary records are retained in the retired log for one
-    /// failure-detection window (gap bridging, §2.3).
-    fn reclaim(&mut self, now: SimTime, token: ServiceToken) {
+    /// failure-detection window (gap bridging, §2.3). Under the coded
+    /// backend, retiring the home's primary entry releases the block's
+    /// shard reservations from the per-disk load rings (`coded` is `None`
+    /// only at restripe cut-over, which rebuilds the rings wholesale).
+    fn reclaim(&mut self, now: SimTime, token: ServiceToken, coded: Option<&mut CodedRuntime>) {
         if let Some(e) = self.active.remove(&token) {
             if e.buffer_held {
                 self.buffer_bytes_in_use = self.buffer_bytes_in_use.saturating_sub(e.read_bytes);
@@ -1276,6 +1616,12 @@ impl Cub {
                 play_seq: e.vs.play_seq,
             };
             self.by_key.remove(&key);
+            if e.vs.kind == StreamKind::Primary {
+                if let Some(c) = coded {
+                    let home = c.placement.config().disk_of(self.id, e.disk_local);
+                    c.release(home, coded_load_key(&e.vs));
+                }
+            }
             if !e.dropped && e.vs.kind == StreamKind::Primary {
                 self.retired_log.push((now, e.vs));
             }
@@ -1324,7 +1670,7 @@ impl Cub {
             .map(|(&t, _)| t)
             .collect();
         for token in done {
-            self.reclaim(now, token);
+            self.reclaim(now, token, sh.coded.as_mut());
         }
         for instance in finished {
             if self.eof_sent.insert(instance) {
@@ -1433,7 +1779,7 @@ impl Cub {
             entry.forwarded = true; // Never forward a descheduled entry.
             killed += 1;
             if entry.finished() {
-                self.reclaim(now, token);
+                self.reclaim(now, token, sh.coded.as_mut());
             }
             // Otherwise an outstanding read completes first; DiskDone
             // reclaims it then.
@@ -1506,13 +1852,19 @@ impl Cub {
     /// block) of the instance — the staleness test behind the §4.1.2
     /// receipt idempotence in `on_primary_state`.
     pub(crate) fn already_served(&self, vs: &ViewerState) -> bool {
-        self.active
-            .values()
-            .any(|a| a.vs.instance == vs.instance && a.vs.play_seq >= vs.play_seq)
-            || self
-                .retired_log
-                .iter()
-                .any(|(_, r)| r.instance == vs.instance && r.play_seq >= vs.play_seq)
+        // Coded shard actives carry the *home* block's play_seq and say
+        // nothing about this cub's own primary progression — counting one
+        // here would reject the double-forwarded redundancy copy of the
+        // very record the shard serves, exactly when the home just died
+        // and that copy is the stream's only survivor.
+        self.active.values().any(|a| {
+            !matches!(a.vs.kind, StreamKind::Coded { .. })
+                && a.vs.instance == vs.instance
+                && a.vs.play_seq >= vs.play_seq
+        }) || self
+            .retired_log
+            .iter()
+            .any(|(_, r)| r.instance == vs.instance && r.play_seq >= vs.play_seq)
     }
 
     fn schedule_insert_attempt(&mut self, sh: &mut Shared, at: SimTime) {
@@ -2010,7 +2362,7 @@ impl Cub {
             }
             entry.forwarded = true;
             if entry.finished() {
-                self.reclaim(now, token);
+                self.reclaim(now, token, None);
             }
         }
         self.view = ScheduleView::new();

@@ -57,3 +57,4 @@ pub use metrics::{LossReport, Metrics, WindowSample};
 pub use msg::Message;
 pub use restripe::LiveRestripe;
 pub use system::TigerSystem;
+pub use tiger_layout::RedundancyMode;

@@ -1,6 +1,7 @@
 //! The assembled Tiger system: event loop, node wiring, content loading,
 //! fault injection, and measurement windows.
 
+use tiger_coded::CodedPlacement;
 use tiger_disk::Disk;
 use tiger_faults::{
     DiskFaultKind, DiskFaults, FaultPlan, NetFaults, NetInjection, NetInjectionKind, ProcFaults,
@@ -8,11 +9,14 @@ use tiger_faults::{
 };
 use tiger_layout::catalog::BitrateMode;
 use tiger_layout::ids::ViewerInstance;
-use tiger_layout::{BlockNum, CubId, FileCatalog, FileId, MirrorPlacement, ViewerId};
+use tiger_layout::{
+    BlockNum, CubId, DiskId, FileCatalog, FileId, MirrorPiece, MirrorPlacement, Redundancy as _,
+    RedundancyMode, StripeConfig, ViewerId,
+};
 use tiger_net::{NetNode, Network};
 use tiger_sched::disk_schedule::Omniscient;
-use tiger_sched::{Deschedule, ScheduleParams};
-use tiger_sim::{Bandwidth, EventQueue, RngTree, SimDuration, SimTime};
+use tiger_sched::{Deschedule, NetworkSchedule, ScheduleParams};
+use tiger_sim::{Bandwidth, ByteSize, EventQueue, RngTree, SimDuration, SimTime};
 use tiger_trace::{TraceEvent, Tracer, CTRL};
 
 use crate::client::{Client, ClientReport};
@@ -54,6 +58,82 @@ pub struct Shared {
     /// fault plan was applied; like the tracer, the no-faults path costs
     /// one pointer test.
     pub faults: ProcFaults,
+    /// Coded-backend runtime (shard placement plus the per-disk load
+    /// index holder choice ranks against). `None` under mirroring.
+    pub coded: Option<CodedRuntime>,
+}
+
+/// Runtime state of the `tiger-coded` backend: the shard placement and
+/// one admission ring per *disk* — PR 7's incrementally-maintained load
+/// index, reused here so the home's coordinator can rank a block's
+/// `2k − 1` candidate shard holders by how loaded each disk already is
+/// at the block's ring position. Capacity is effectively unbounded (the
+/// rings track load, they never reject), and reservations are released
+/// when the home's schedule entry is reclaimed.
+#[derive(Debug)]
+pub struct CodedRuntime {
+    /// Shard placement/geometry helper (`k = decluster`, `n = 2k`).
+    pub placement: CodedPlacement,
+    /// Per-disk load rings, indexed by `DiskId`.
+    pub loads: Vec<NetworkSchedule>,
+    /// Ring length (`block_play_time × num_disks`), cached for position
+    /// arithmetic.
+    ring_len: SimDuration,
+    /// Entry quantum (= the block play time).
+    quantum: SimDuration,
+}
+
+impl CodedRuntime {
+    /// Builds the runtime for `stripe` with entry windows of `bpt`.
+    pub fn new(stripe: StripeConfig, bpt: SimDuration) -> Self {
+        let num_disks = stripe.num_disks();
+        // The rings only *measure* load; give them more capacity than any
+        // schedule can commit so an insert never rejects.
+        let unbounded = Bandwidth::from_bits_per_sec(1 << 60);
+        let loads = (0..num_disks)
+            .map(|_| NetworkSchedule::new(num_disks, bpt, unbounded, Some(bpt)))
+            .collect();
+        CodedRuntime {
+            placement: CodedPlacement::new(stripe),
+            loads,
+            ring_len: bpt.mul_u64(u64::from(num_disks)),
+            quantum: bpt,
+        }
+    }
+
+    /// The quantized ring position of absolute time `at`.
+    fn ring_pos(&self, at: SimTime) -> SimDuration {
+        let pos = SimDuration::from_nanos(at.as_nanos() % self.ring_len.as_nanos());
+        pos - SimDuration::from_nanos(pos.as_nanos() % self.quantum.as_nanos())
+    }
+
+    /// Peak reserved load on `disk` in the entry window containing `at`.
+    pub fn load_at(&self, disk: DiskId, at: SimTime) -> Bandwidth {
+        self.loads[disk.index()].max_load_in_entry_window(self.ring_pos(at))
+    }
+
+    /// Reserves `rate` on `disk` for `instance` around `at` (the block's
+    /// send window). Idempotence is not needed: each accepted block
+    /// reserves once and releases at reclaim.
+    pub fn reserve(
+        &mut self,
+        disk: DiskId,
+        instance: ViewerInstance,
+        at: SimTime,
+        rate: Bandwidth,
+    ) {
+        let pos = self.ring_pos(at);
+        let _ = self.loads[disk.index()].insert(instance, pos, rate, false);
+    }
+
+    /// Releases every reservation `instance` holds on the `2k` disks of
+    /// the block homed on `home`.
+    pub fn release(&mut self, home: DiskId, instance: ViewerInstance) {
+        for j in 0..self.placement.n() {
+            let d = self.placement.shard_disk(home, j);
+            self.loads[d.index()].remove_instance(instance);
+        }
+    }
 }
 
 impl Shared {
@@ -111,6 +191,24 @@ impl Shared {
         }
         if let Some(at) = at {
             self.queue.schedule(at, Event::Deliver { dst, msg });
+        }
+    }
+
+    /// Bytes of a block stored in the home disk's primary region: the
+    /// whole block under mirroring, one shard under the coded backend.
+    pub fn primary_extent(&self, block_size: ByteSize) -> ByteSize {
+        match &self.coded {
+            Some(c) => c.placement.shard_size(block_size),
+            None => block_size,
+        }
+    }
+
+    /// The secondary pieces of a block homed on `home`, per the active
+    /// redundancy backend.
+    pub fn secondary_pieces(&self, home: DiskId, block_size: ByteSize) -> Vec<MirrorPiece> {
+        match &self.coded {
+            Some(c) => c.placement.secondary_pieces(home, block_size),
+            None => self.placement.pieces_for(home, block_size),
         }
     }
 
@@ -246,6 +344,8 @@ impl TigerSystem {
         }
         let clients = (0..cfg.num_clients).map(|_| Client::new()).collect();
         let placement = MirrorPlacement::new(cfg.stripe);
+        let coded = (cfg.redundancy == RedundancyMode::Coded)
+            .then(|| CodedRuntime::new(cfg.stripe, cfg.block_play_time));
         let num_cubs = total_cubs;
         let cfg_striped = cfg.stripe.num_cubs;
         // Pre-size the event queue for a full-load steady state so long
@@ -265,6 +365,7 @@ impl TigerSystem {
                 omniscient: None,
                 tracer: Tracer::from_env(),
                 faults: ProcFaults::disabled(),
+                coded,
             },
             cubs,
             controller: Controller::new(),
@@ -366,9 +467,9 @@ impl TigerSystem {
                 local,
                 file,
                 BlockNum(b),
-                meta.block_size,
+                self.shared.primary_extent(meta.block_size),
             );
-            for piece in self.shared.placement.pieces_for(loc.disk, meta.block_size) {
+            for piece in self.shared.secondary_pieces(loc.disk, meta.block_size) {
                 let pcub = stripe.cub_of(piece.disk);
                 let plocal = stripe.local_index_of(piece.disk);
                 self.cubs[pcub.index()].load_secondary(
@@ -847,6 +948,11 @@ impl TigerSystem {
         .with_ownership_duration(self.shared.cfg.ownership_duration);
         self.shared.catalog.restripe(new);
         self.shared.placement = MirrorPlacement::new(new);
+        if self.shared.coded.is_some() {
+            // Fresh rings: cut-over re-inserts every carried viewer, so
+            // stale load reservations must not leak into the new geometry.
+            self.shared.coded = Some(CodedRuntime::new(new, self.shared.cfg.block_play_time));
+        }
         // 4. Layout: drop the source entries of every moved block (the
         // copy already landed at its destination during the background
         // phase) and re-derive the mirror layout wholesale.
@@ -915,7 +1021,7 @@ impl TigerSystem {
                     .catalog
                     .locate(meta.id, BlockNum(b))
                     .expect("in range");
-                for piece in self.shared.placement.pieces_for(loc.disk, meta.block_size) {
+                for piece in self.shared.secondary_pieces(loc.disk, meta.block_size) {
                     let pcub = stripe.cub_of(piece.disk);
                     let plocal = stripe.local_index_of(piece.disk);
                     self.cubs[pcub.index()].load_secondary(

@@ -144,6 +144,28 @@ impl DiskProfile {
         primary + secondary
     }
 
+    /// The worst-case per-slot disk work under the coded backend: `k`
+    /// shard reads of `ceil(block/k)` bytes from the slowest zone.
+    ///
+    /// A coded block is assembled from `k` of its `2k` shards, so one
+    /// block's service costs the system `k` shard reads spread over `k`
+    /// disks; by ring symmetry the per-disk worst case per slot is that
+    /// same `k`-read budget (one as the home, `k − 1` as a chosen
+    /// holder). Each shard read pays the fixed positioning cost in full,
+    /// which is why coded service *loses* to mirroring at large `k`: the
+    /// `k × fixed` term grows while the transfer term stays `≈ block`.
+    /// At `k = 2` the shorter transfers win. There is no separate
+    /// fault-tolerance reserve — degraded coded service is ordinary
+    /// coded service with a smaller holder-candidate set.
+    pub fn worst_case_coded_read(&self, block_size: ByteSize, k: u32) -> SimDuration {
+        let fixed = self.avg_seek() + self.avg_rotational_latency() + self.overhead;
+        let shard = block_size.div_u64_ceil(u64::from(k));
+        // Shards live in both regions (shard 0 primary, the rest
+        // secondary); size for the slowest zone on the disk.
+        let one = fixed + self.rate_at(0.9999).time_to_move(shard);
+        one.mul_u64(u64::from(k))
+    }
+
     /// Sustained streams per disk implied by the worst-case service time
     /// (the paper's "10.75 streams per disk"), as a float for reporting.
     pub fn streams_per_disk(

@@ -13,6 +13,7 @@ pub mod catalog;
 pub mod ids;
 pub mod index;
 pub mod mirror;
+pub mod redundancy;
 pub mod restripe;
 pub mod space;
 pub mod stripe;
@@ -21,6 +22,7 @@ pub use catalog::{FileCatalog, FileMeta};
 pub use ids::{BlockNum, CubId, DiskId, FileId, ViewerId};
 pub use index::{BlockIndex, IndexEntry, IndexError};
 pub use mirror::{MirrorPiece, MirrorPlacement};
+pub use redundancy::{Mirrored, Redundancy, RedundancyMode};
 pub use restripe::{RestripePlan, RestripeStats};
 pub use space::{DiskRegion, DiskSpace, SpaceError};
 pub use stripe::{BlockLocation, StripeConfig};

@@ -218,6 +218,78 @@ mod tests {
     }
 
     #[test]
+    fn loss_window_boundary_is_exactly_decluster() {
+        // The §2.3 loss-window arithmetic, probed at its boundary over
+        // random rings: a second failure exactly `decluster` positions
+        // away loses data, one at `decluster + 1` survives — and both
+        // directions around the ring agree.
+        tiger_sim::check::check("mirror_loss_window_boundary", |rng| {
+            let cubs = rng.gen_range(4u32..40);
+            let dpc = rng.gen_range(1u32..5);
+            let disks = cubs * dpc;
+            // Keep the ring at least 2d + 2 disks so the disk "d + 1
+            // ahead" is also more than d behind — otherwise the window
+            // wraps and the survival claim is vacuous.
+            let d = rng.gen_range(1u32..=(disks - 2) / 2);
+            let p = MirrorPlacement::new(StripeConfig::new(cubs, dpc, d));
+            let first = DiskId(rng.gen_range(0u32..disks));
+
+            let at = p.config().disk_after(first, d);
+            assert!(
+                !p.survives(&[first, at]),
+                "cubs {cubs} dpc {dpc} d {d}: failure exactly d away must lose data"
+            );
+            let behind = p.config().disk_before(first, d);
+            assert!(
+                !p.survives(&[first, behind]),
+                "cubs {cubs} dpc {dpc} d {d}: the window extends backward too"
+            );
+            let past = p.config().disk_after(first, d + 1);
+            assert!(
+                p.survives(&[first, past]),
+                "cubs {cubs} dpc {dpc} d {d}: failure d+1 away must survive"
+            );
+        });
+    }
+
+    #[test]
+    fn exposure_window_matches_piece_placement() {
+        // `second_failure_exposure` is exactly the set of disks holding a
+        // piece relation with the failed disk (either direction), and
+        // piece placement never leaves that window.
+        tiger_sim::check::check("mirror_exposure_matches_pieces", |rng| {
+            let cubs = rng.gen_range(3u32..30);
+            let dpc = rng.gen_range(1u32..4);
+            let disks = cubs * dpc;
+            let d = rng.gen_range(1u32..(disks / 2).max(2));
+            let p = MirrorPlacement::new(StripeConfig::new(cubs, dpc, d));
+            let failed = DiskId(rng.gen_range(0u32..disks));
+
+            let exposed = p.second_failure_exposure(failed);
+            for piece in p.pieces_for(failed, ByteSize::from_bytes(262_144)) {
+                assert!(
+                    exposed.contains(&piece.disk),
+                    "piece holder {:?} outside the exposure window",
+                    piece.disk
+                );
+            }
+            for disk in 0..disks {
+                let other = DiskId(disk);
+                if other == failed {
+                    continue;
+                }
+                let related = p.covers(other, failed) || p.covers(failed, other);
+                assert_eq!(
+                    exposed.contains(&other),
+                    related,
+                    "cubs {cubs} dpc {dpc} d {d}: exposure of {other} disagrees \
+                     with piece placement"
+                );
+            }
+        });
+    }
+
+    #[test]
     fn exposure_disks_exactly_fail_survival() {
         let p = place(20, 2, 3);
         let f = DiskId(17);

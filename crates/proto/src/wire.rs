@@ -364,6 +364,9 @@ fn push_vs(s: &mut String, vs: &ViewerState) {
         StreamKind::Mirror { failed_disk, piece } => {
             s.push_str(&format!("M:{}:{piece}", failed_disk.raw()));
         }
+        StreamKind::Coded { home_disk, shard } => {
+            s.push_str(&format!("C:{}:{shard}", home_disk.raw()));
+        }
     }
 }
 
@@ -383,6 +386,12 @@ fn parse_vs(tok: &str) -> Option<ViewerState> {
     }
     let kind = if kind_tok == "P" {
         StreamKind::Primary
+    } else if let Some(rest) = kind_tok.strip_prefix("C:") {
+        let (disk, shard) = rest.split_once(':')?;
+        StreamKind::Coded {
+            home_disk: DiskId(disk.parse().ok()?),
+            shard: shard.parse().ok()?,
+        }
     } else {
         let rest = kind_tok.strip_prefix("M:")?;
         let (disk, piece) = rest.split_once(':')?;
@@ -444,6 +453,14 @@ mod tests {
                 StreamKind::Mirror {
                     failed_disk: DiskId(5),
                     piece: 1,
+                },
+            )),
+            Message::ViewerState(vs(
+                7,
+                19,
+                StreamKind::Coded {
+                    home_disk: DiskId(3),
+                    shard: 2,
                 },
             )),
             Message::ViewerStates(Arc::from(Vec::<ViewerState>::new())),

@@ -30,6 +30,18 @@ pub enum StreamKind {
         /// Which declustered piece this entry's holder sends.
         piece: u32,
     },
+    /// Coded-shard service (the `tiger-coded` backend): this entry
+    /// describes sending shard `shard` of each block homed on
+    /// `home_disk`. Unlike mirror service, coded entries also appear in
+    /// *healthy* operation — every block is assembled from `k` of its
+    /// `2k` shards, and the home's coordinator picks the holders.
+    Coded {
+        /// The disk the block is homed on (shard 0's disk).
+        home_disk: DiskId,
+        /// Which coded shard this entry's holder sends (`1..2k`; shard 0
+        /// is served by the home's own Primary entry).
+        shard: u32,
+    },
 }
 
 /// A viewer-state record: the unit of schedule information passed around

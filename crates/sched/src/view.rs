@@ -208,6 +208,16 @@ fn same_kind(a: &ViewerState, b: &ViewerState) -> bool {
                 failed_disk: fb,
             },
         ) => pa == pb && fa == fb,
+        (
+            StreamKind::Coded {
+                home_disk: ha,
+                shard: sa,
+            },
+            StreamKind::Coded {
+                home_disk: hb,
+                shard: sb,
+            },
+        ) => ha == hb && sa == sb,
         _ => false,
     }
 }

@@ -155,6 +155,13 @@ trace_events! {
     MirrorCreate => "mirror-create" { slot: u32, viewer: u64, inc: u32, failed_disk: u32 },
     /// A mirror viewer state accepted for service of a declustered piece.
     MirrorAccept => "mirror-accept" { slot: u32, viewer: u64, inc: u32, piece: u32 },
+    /// Coded-backend repair: the acting successor re-drove a dead home's
+    /// slot by choosing `k` surviving shard holders (any-k-of-2k decode
+    /// replaces the fixed mirror-partner lookup).
+    CodedRepair => "coded-repair" { slot: u32, viewer: u64, inc: u32, failed_disk: u32 },
+    /// A coded shard served while the block's home cub is believed
+    /// failed — the degraded-read path of the coded backend.
+    DegradedPieceRead => "degraded-piece-read" { slot: u32, viewer: u64, inc: u32, shard: u32 },
     /// A block read issued to a disk.
     DiskIssue => "disk-issue" { slot: u32, viewer: u64, inc: u32, disk: u32 },
     /// A block read completed.
@@ -421,6 +428,24 @@ mod tests {
                     viewer: 4,
                     inc: 0,
                     piece: 1,
+                },
+            ),
+            (
+                2,
+                TraceEvent::CodedRepair {
+                    slot: 5,
+                    viewer: 4,
+                    inc: 0,
+                    failed_disk: 1,
+                },
+            ),
+            (
+                3,
+                TraceEvent::DegradedPieceRead {
+                    slot: 5,
+                    viewer: 4,
+                    inc: 0,
+                    shard: 2,
                 },
             ),
             (

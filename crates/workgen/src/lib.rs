@@ -30,8 +30,8 @@ pub mod session;
 
 pub use arrival::Arrivals;
 pub use plan::{
-    parse_rate, ArrivalSpec, Burst, CompiledWorkload, Diurnal, FlashCrowd, PopularitySpec,
-    SessionSpec, WorkloadPlan,
+    load_plan_file, parse_rate, ArrivalSpec, Burst, CompiledWorkload, Diurnal, FlashCrowd,
+    PopularitySpec, SessionSpec, WorkloadPlan,
 };
 pub use popularity::{CompiledCrowd, Popularity};
 pub use session::{SessionEvent, SessionMachine, SessionOp, SessionSampler, MAX_OPS_PER_VIEWER};

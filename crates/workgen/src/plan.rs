@@ -353,6 +353,33 @@ impl WorkloadPlan {
     }
 }
 
+/// Loads and parses a plan file, prefixing every error with the path —
+/// and, for clause errors, the line — in the conventional
+/// `path:line: message` shape editors and CI logs hyperlink.
+///
+/// This is the one place plan-file diagnostics are formatted; every bin
+/// that takes `--plan FILE` (or `TIGER_WORKLOAD_PLAN`) should call it
+/// rather than hand-rolling `read_to_string` + [`WorkloadPlan::parse`].
+pub fn load_plan_file(path: impl AsRef<std::path::Path>) -> Result<WorkloadPlan, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read plan: {e}", path.display()))?;
+    WorkloadPlan::parse(&text).map_err(|e| {
+        // Clause errors arrive as "line N: msg"; fold the line number
+        // into the path prefix. Cross-clause validation errors have no
+        // line and keep the bare path.
+        if let Some((n, msg)) = e
+            .strip_prefix("line ")
+            .and_then(|rest| rest.split_once(": "))
+        {
+            if n.chars().all(|c| c.is_ascii_digit()) {
+                return format!("{}:{n}: {msg}", path.display());
+            }
+        }
+        format!("{}: {e}", path.display())
+    })
+}
+
 fn validate(plan: &WorkloadPlan) -> Result<(), String> {
     if plan.titles() == 0 {
         return Err("titles= must be at least 1".into());
@@ -614,6 +641,47 @@ fault restart c1 at=200s
             .viewers(60)
             .horizon(SimDuration::from_secs(90));
         assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn load_plan_file_reports_path_and_line() {
+        let dir = std::env::temp_dir();
+        let good = dir.join(format!("tiger_workgen_good_{}.plan", std::process::id()));
+        let bad = dir.join(format!("tiger_workgen_bad_{}.plan", std::process::id()));
+
+        std::fs::write(
+            &good,
+            "uniform titles=4\narrivals rate=1/s\nhorizon t=30s\n",
+        )
+        .unwrap();
+        let plan = load_plan_file(&good).expect("good plan loads");
+        assert_eq!(plan.titles(), 4);
+
+        // The clause error lands on line 2 and the message leads with
+        // "path:2:" so editors and CI logs hyperlink it.
+        std::fs::write(&bad, "uniform titles=4\nwarp factor=9\nhorizon t=30s\n").unwrap();
+        let err = load_plan_file(&bad).unwrap_err();
+        assert!(
+            err.starts_with(&format!("{}:2: ", bad.display())),
+            "want path:2: prefix, got {err}"
+        );
+        assert!(err.contains("unknown clause verb"), "{err}");
+
+        // Cross-clause validation has no line; the bare path prefixes it.
+        std::fs::write(&bad, "flashcrowd title=t99 at=1s peak=2x decay=5s\n").unwrap();
+        let err = load_plan_file(&bad).unwrap_err();
+        assert!(err.starts_with(&format!("{}: ", bad.display())), "{err}");
+        assert!(err.contains("outside"), "{err}");
+
+        // A missing file names the path too.
+        let missing = dir.join("tiger_workgen_definitely_missing.plan");
+        let _ = std::fs::remove_file(&missing);
+        let err = load_plan_file(&missing).unwrap_err();
+        assert!(err.contains("cannot read plan"), "{err}");
+        assert!(err.contains("tiger_workgen_definitely_missing"), "{err}");
+
+        let _ = std::fs::remove_file(&good);
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

@@ -37,7 +37,8 @@ echo "== fleet smoke: quick fig8 ramp at 1 vs 2 threads" >&2
 FLEET_T1="$(mktemp)" FLEET_T2="$(mktemp)" FLEET_TRACED="$(mktemp)" DEMO_OUT="$(mktemp)"
 CHAOS_T1="$(mktemp)" CHAOS_T2="$(mktemp)"
 WORK_T1="$(mktemp)" WORK_T2="$(mktemp)" HOTSPOT_PLAN="$(mktemp)"
-trap 'rm -f "$FLEET_T1" "$FLEET_T2" "$FLEET_TRACED" "$DEMO_OUT" "$CHAOS_T1" "$CHAOS_T2" "$WORK_T1" "$WORK_T2" "$HOTSPOT_PLAN"' EXIT
+CODED_T1="$(mktemp)" CODED_T2="$(mktemp)"
+trap 'rm -f "$FLEET_T1" "$FLEET_T2" "$FLEET_TRACED" "$DEMO_OUT" "$CHAOS_T1" "$CHAOS_T2" "$WORK_T1" "$WORK_T2" "$HOTSPOT_PLAN" "$CODED_T1" "$CODED_T2"' EXIT
 cargo run --release -q -p tiger-bench --bin fleet -- \
     --scale quick --filter fig8 --threads 1 > "$FLEET_T1" 2>/dev/null
 cargo run --release -q -p tiger-bench --bin fleet -- \
@@ -72,6 +73,21 @@ cargo run --release -q -p tiger-bench --bin workloads -- \
 cargo run --release -q -p tiger-bench --bin workloads -- \
     --scale quick --threads 2 > "$WORK_T2"
 cmp "$WORK_T1" "$WORK_T2"
+
+# Redundancy-ablation smoke: coded vs mirrored on the flash-crowd plans
+# must pass its own checks (coded blocking <= mirrored at equal storage;
+# chaos invariants 1-6 on both backends — the bin exits non-zero on any
+# failure), be bit-identical at 1 and 2 worker threads, and match the
+# checked-in curve golden exactly. Fatal — a golden drift means the coded
+# service path (fan-out, degraded reads, load-index choice) changed
+# behaviour (see docs/CODED.md).
+echo "== coded smoke: ablation_coded at 1 vs 2 threads + golden" >&2
+cargo run --release -q -p tiger-bench --bin ablation_coded -- \
+    --scale quick --threads 1 > "$CODED_T1"
+cargo run --release -q -p tiger-bench --bin ablation_coded -- \
+    --scale quick --threads 2 > "$CODED_T2"
+cmp "$CODED_T1" "$CODED_T2"
+cmp results/ablation_coded_quick.txt "$CODED_T1"
 
 # Golden plan-driven hotspot: the hotspot bench driven by the checked-in
 # example plan must render exactly the checked-in table. Fatal — it pins

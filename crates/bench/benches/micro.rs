@@ -132,6 +132,37 @@ fn bench_rejoin(c: &mut Runner) {
             view.len()
         })
     });
+    // The predecessor's side of the sub-interval rejoin: reduce a full
+    // retained window of the retired log (several sightings per viewer)
+    // to the replay batch — newest-sighting dedup, gap-bridge skip
+    // arithmetic, and the ownership filter per entry. Paid once per
+    // rejoin, against the whole log, so it is the one retired-log path
+    // that is O(log) rather than O(1).
+    c.bench_function("recovery/retired_replay", |b| {
+        let bpt = SimDuration::from_secs(1);
+        // ~7 s of service history for 60 viewers on a 14-cub ring: one
+        // sighting per viewer per second, in service order.
+        let retired: Vec<(SimTime, ViewerState)> = (0..420u64)
+            .map(|i| {
+                let at = SimTime::from_millis(i * 1_000 / 60);
+                (at, vs(((i * 10) % 602) as u32, i % 60, (i / 60) as u32))
+            })
+            .collect();
+        let now = SimTime::from_secs(9);
+        let horizon = SimDuration::from_secs(2);
+        b.iter(|| {
+            black_box(tiger_core::recovery::replay_batch(
+                &retired,
+                now,
+                bpt,
+                horizon,
+                14,
+                |_, pos| (pos.raw() < 10_000).then(|| tiger_layout::CubId(pos.raw() % 14)),
+                |_| false,
+                tiger_layout::CubId(3),
+            ))
+        })
+    });
 }
 
 fn bench_layout(c: &mut Runner) {

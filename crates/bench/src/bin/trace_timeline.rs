@@ -23,7 +23,8 @@ use tiger_trace::{parse_dump, render_diff, render_timeline};
 const USAGE: &str = "usage: trace_timeline <dump-file>
        trace_timeline --diff <dump-a> <dump-b>
        trace_timeline --demo
-       trace_timeline --rejoin-demo";
+       trace_timeline --rejoin-demo
+       trace_timeline --shrink-demo";
 
 /// Lines of context shown around the first divergence in `--diff`.
 const DIFF_CONTEXT: usize = 5;
@@ -81,6 +82,27 @@ fn rejoin_demo() -> String {
     render_timeline(&sys.tracer().records())
 }
 
+/// The deterministic shrink scenario: a live `remove=1` restripe under
+/// streaming load. The timeline pins the whole shrink arc — the queued
+/// plan starting, the leaving cub's primaries draining to survivors
+/// (`shrink-drain`), the fence (`shrink-fence`), and the cut-over — as
+/// a golden (`results/trace_shrink_timeline.txt`).
+fn shrink_demo() -> String {
+    let mut cfg = TigerConfig::small_test();
+    cfg.disk = cfg.disk.without_blips();
+    let mut sys = TigerSystem::new(cfg);
+    sys.enable_trace(65_536);
+    let film = sys.add_file(Bandwidth::from_mbit_per_sec(2), SimDuration::from_secs(30));
+    let clients: Vec<u32> = (0..3).map(|_| sys.add_client()).collect();
+    for (i, &c) in clients.iter().enumerate() {
+        let at = SimTime::from_millis(50 + 400 * i as u64);
+        sys.request_start(at, c, film);
+    }
+    sys.request_restripe_remove(SimTime::from_secs(5), 1);
+    sys.run_until(SimTime::from_secs(40));
+    render_timeline(&sys.tracer().records())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -90,6 +112,10 @@ fn run() -> Result<(), String> {
         }
         [flag] if flag == "--rejoin-demo" => {
             print!("{}", rejoin_demo());
+            Ok(())
+        }
+        [flag] if flag == "--shrink-demo" => {
+            print!("{}", shrink_demo());
             Ok(())
         }
         [flag, a, b] if flag == "--diff" => {

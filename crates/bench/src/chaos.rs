@@ -22,16 +22,29 @@ use tiger_workload::{chaos_digest, run_chaos, ChaosConfig};
 
 use crate::fleet::{run_indexed, ExpReport, Scale};
 
+/// Which topology a scenario runs on. Most templates target the
+/// small-test ring (cubs c0..c3, one disk each, 2 s deadman); scenarios
+/// that kill two cubs need the wide 8-cub ring (on 4 cubs with
+/// decluster 2 every pair overlaps a mirror group), and the spare-shield
+/// scenario additionally provisions one spare for the shield to claim.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Topo {
+    /// The 4-cub small-test ring.
+    Small,
+    /// The 8-cub wide ring.
+    Wide,
+    /// The 8-cub wide ring plus one provisioned spare.
+    WideSpare,
+}
+
 /// One scenario template: a stable name, the plan text at injection
-/// instant `t` (seconds), and whether it needs the wide (8-cub) ring.
-/// Most templates target the small-test topology (cubs c0..c3, one disk
-/// each, 2 s deadman).
-type Scenario = (&'static str, fn(u64) -> String, bool);
+/// instant `t` (seconds), and the topology it needs.
+type Scenario = (&'static str, fn(u64) -> String, Topo);
 
 /// The scenario catalogue, in the fixed order the report prints.
 pub fn scenarios() -> Vec<Scenario> {
     vec![
-        ("single-crash", |t| format!("crash c1 at={t}s"), false),
+        ("single-crash", |t| format!("crash c1 at={t}s"), Topo::Small),
         // One power-domain cut taking two cubs at once. Survivable only
         // when the victims sit in different mirror groups, which needs
         // the wide ring: on 4 cubs with decluster 2 every pair overlaps
@@ -39,14 +52,14 @@ pub fn scenarios() -> Vec<Scenario> {
         (
             "power-domain",
             |t| format!("power-domain c1,c4 at={t}s"),
-            true,
+            Topo::Wide,
         ),
         // 6 s stall against a 2 s deadman: declared dead mid-freeze, then
         // resumes as a zombie and must fence itself.
         (
             "freeze-trip",
             |t| format!("freeze c2 from={t}s until={}s", t + 6),
-            false,
+            Topo::Small,
         ),
         // A 1 s stall leaves worst-case observed silence (stall + ping
         // interval + latency) under the 2 s timeout: the other side of
@@ -54,12 +67,12 @@ pub fn scenarios() -> Vec<Scenario> {
         (
             "freeze-blip",
             |t| format!("freeze c3 from={t}s until={}s", t + 1),
-            false,
+            Topo::Small,
         ),
         (
             "partition-heal",
             |t| format!("partition c0,c1|c2,c3 from={t}s heal={}s", t + 3),
-            false,
+            Topo::Small,
         ),
         (
             "disk-brownout",
@@ -70,7 +83,7 @@ pub fn scenarios() -> Vec<Scenario> {
                     u = t + 8
                 )
             },
-            false,
+            Topo::Small,
         ),
         (
             "lossy-control",
@@ -82,7 +95,7 @@ pub fn scenarios() -> Vec<Scenario> {
                     u = t + 10
                 )
             },
-            false,
+            Topo::Small,
         ),
         // Crash, then rejoin 10 s later: the restarted cub must re-learn
         // its slots from the covering successor within the convergence
@@ -91,7 +104,7 @@ pub fn scenarios() -> Vec<Scenario> {
         (
             "crash-rejoin",
             |t| format!("crash c1 at={t}s\nrestart c1 at={}s", t + 10),
-            false,
+            Topo::Small,
         ),
         // The covering partner dies 400 ms into its hand-back window —
         // mid-catch-up. Loss must stay bounded (two covered single
@@ -105,7 +118,7 @@ pub fn scenarios() -> Vec<Scenario> {
                     m = (t + 10) * 1000 + 400
                 )
             },
-            false,
+            Topo::Small,
         ),
         // A fault-free live restripe widening the ring by two spares:
         // held to the §6.4 duration budget and the byte-level layout
@@ -113,7 +126,7 @@ pub fn scenarios() -> Vec<Scenario> {
         (
             "restripe-quiet",
             |t| format!("restripe at={t}s add=2"),
-            false,
+            Topo::Small,
         ),
         // A source cub dies with restripe moves in flight and rejoins
         // 10 s later: the plan parks, resumes, and still cuts over.
@@ -126,7 +139,35 @@ pub fn scenarios() -> Vec<Scenario> {
                     t + 12
                 )
             },
-            false,
+            Topo::Small,
+        ),
+        // Crash, then rejoin only 3 s later — inside the deschedule hold.
+        // The predecessor's retired-log tail is still fresh, so the
+        // sub-interval replay carries nearly every in-flight record and
+        // the convergence invariant is held to its tightest case.
+        (
+            "fast-rejoin",
+            |t| format!("crash c1 at={t}s\nrestart c1 at={}s", t + 3),
+            Topo::Small,
+        ),
+        // A live *shrink* under streaming load: one cub drains, fences,
+        // and leaves the ring mid-play. Injected early (the drain copies
+        // a quarter of the catalogue at background pace) so the cut-over
+        // lands inside the 90 s campaign at every sweep instant.
+        (
+            "shrink-load",
+            |t| format!("restripe at={}s remove=1", 5 + t / 3),
+            Topo::Small,
+        ),
+        // Two non-adjacent cubs die 30 s apart with a spare provisioned:
+        // the shield copies the first victim's exposed decluster spans to
+        // the spare, which then serves as interim mirror capacity through
+        // the second failure. Needs the wide ring (double failure) and
+        // victims in different mirror groups so the span sources survive.
+        (
+            "spare-shield",
+            |t| format!("crash c1 at={t}s\ncrash c3 at={}s", t + 30),
+            Topo::WideSpare,
         ),
     ]
 }
@@ -152,9 +193,15 @@ pub fn chaos_report(scale: Scale, threads: usize) -> ExpReport {
         let plan = FaultPlan::parse(&(scenarios[s].1)(t)).expect("scenario template parses");
         let mut cfg = ChaosConfig::quick(plan);
         cfg.tiger.seed = seed;
-        if scenarios[s].2 {
-            cfg.tiger.stripe = StripeConfig::new(8, 1, 2);
-            cfg.tiger.num_clients = 8;
+        match scenarios[s].2 {
+            Topo::Small => {}
+            Topo::Wide | Topo::WideSpare => {
+                cfg.tiger.stripe = StripeConfig::new(8, 1, 2);
+                cfg.tiger.num_clients = 8;
+                if scenarios[s].2 == Topo::WideSpare {
+                    cfg.tiger.spare_cubs = 1;
+                }
+            }
         }
         run_chaos(&cfg)
     });
@@ -182,8 +229,9 @@ pub fn chaos_report(scale: Scale, threads: usize) -> ExpReport {
         out,
         "invariants: no double delivery, every deadman declaration justified \
          (partitioned rings modeled), view lead bounded, single-failure loss \
-         window bounded, rejoin convergence bounded, restripe within the \
-         §6.4 duration budget. violations: {bad}."
+         window bounded, rejoin convergence bounded (sub-interval with \
+         retired replay), restripe/shrink within the §6.4 duration budget. \
+         violations: {bad}."
     );
     ExpReport {
         name: "chaos",

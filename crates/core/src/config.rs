@@ -65,6 +65,20 @@ pub struct TigerConfig {
     /// forwarding would force every failure to do). On by default; the
     /// forwarding ablation turns it off to reproduce the paper's argument.
     pub gap_recovery: bool,
+    /// Whether a rejoining cub's ring predecessor replays its retired-log
+    /// tail (advanced to the next due positions) the moment it sees the
+    /// rejoin request, so the rejoiner reconstructs in-flight viewer
+    /// state in sub-interval time instead of waiting up to one forward
+    /// interval for natural circulation. On by default; the fast-rejoin
+    /// chaos scenario turns it off to demonstrate the latency it buys.
+    pub retired_replay: bool,
+    /// Whether registered spares serve as interim mirror capacity before
+    /// a restripe cut-over: on a failure declaration, the mirror pieces
+    /// shadowing the failed cub's disks (the most-exposed decluster
+    /// spans — one more holder failure loses them) are background-copied
+    /// to a spare, which then serves them if that second failure lands.
+    /// On by default; a no-op without provisioned spares.
+    pub spare_shield: bool,
     /// Per-cub buffer cache (20 MB in the testbed; bounds read-ahead).
     pub buffer_cache: ByteSize,
     /// Number of client machines.
@@ -121,6 +135,8 @@ impl TigerConfig {
             forward_interval: SimDuration::from_millis(500),
             forwarding: ForwardingPolicy::Double,
             gap_recovery: true,
+            retired_replay: true,
+            spare_shield: true,
             buffer_cache: ByteSize::from_mib(20),
             num_clients: 31,
             seed: 1997,

@@ -351,6 +351,21 @@ impl Cub {
     /// Handles a delivered control message.
     pub fn on_message(&mut self, sh: &mut Shared, now: SimTime, msg: Message) {
         if self.failed {
+            // Narrow spare-shield allowance: a spare holding ready shield
+            // spans serves the mirror records the cover path routes to it,
+            // while remaining a non-member for every other purpose (no
+            // ring work, no forwarding, no primary service).
+            if sh.shield.is_serving_spare(self.id) {
+                match msg {
+                    Message::ViewerState(vs) => self.on_shield_state(sh, now, vs),
+                    Message::ViewerStates(ref batch) => {
+                        for &vs in batch.iter() {
+                            self.on_shield_state(sh, now, vs);
+                        }
+                    }
+                    _ => {}
+                }
+            }
             return;
         }
         self.msgs_processed.incr();
@@ -413,6 +428,17 @@ impl Cub {
                     }
                 }
             }
+            Message::RetiredReplay { from, states } => {
+                // The predecessor's retired-log tail, already advanced to
+                // this cub's next due positions. Receipt idempotence
+                // (already-served blocks, play-sequence supersession, late
+                // guards) dedups against anything the normal circulation
+                // also delivers.
+                self.ring.heard_from(from, now);
+                for &vs in states.iter() {
+                    self.on_viewer_state(sh, now, vs);
+                }
+            }
             _ => {
                 debug_assert!(false, "cub received unexpected message: {msg:?}");
             }
@@ -444,9 +470,73 @@ impl Cub {
                 },
             );
         }
+        if outcome.should_replay && sh.cfg.retired_replay {
+            self.replay_retired_tail(sh, now, from);
+        }
         if outcome.was_covering {
             self.grant_handback(sh, now, from);
         }
+    }
+
+    /// Sub-interval rejoin: as the rejoiner's ring predecessor, replay the
+    /// retired-log tail — each recently serviced record skipped ahead to
+    /// its next due position, the same arithmetic as the §2.3 gap bridge —
+    /// filtered to positions that land on the rejoiner's disks. The
+    /// rejoiner rebuilds its in-flight viewer state the moment the batch
+    /// arrives instead of waiting up to a full forward interval for
+    /// natural circulation; receipt idempotence makes over-sending safe.
+    fn replay_retired_tail(&mut self, sh: &mut Shared, now: SimTime, to: CubId) {
+        let bpt = sh.params.block_play_time();
+        // Mirror-commitment frontier: a record reaches its owner — or,
+        // while the owner is believed dead, the acting successor, which
+        // mirror-commits it on receipt — up to the maximum legitimate
+        // lead ahead of the position's due time (maxVStateLead plus one
+        // block play time per bridged failure, the same bound the
+        // acceptance staleness guard uses). Positions due inside that
+        // lead were taken over before the rejoin's belief flip could
+        // stop them; one forward interval of slack covers pass cadence
+        // and the flip's propagation. Replay must not claim a position
+        // the committed mirror chain will also serve.
+        let clear_horizon = sh.cfg.max_vstate_lead
+            + bpt.mul_u64(u64::from(sh.params.stripe().decluster) + 1)
+            + sh.cfg.forward_interval;
+        let states = crate::recovery::replay_batch(
+            &self.retired_log,
+            now,
+            bpt,
+            clear_horizon,
+            self.ring.num_cubs(),
+            |file, pos| sh.catalog.locate(file, pos).map(|loc| loc.cub),
+            |c| self.ring.believes_failed(c),
+            to,
+        );
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::RetiredReplay {
+                to: to.raw(),
+                count: states.len() as u32,
+            },
+        );
+        if !states.is_empty() {
+            let me = sh.cub_node(self.id);
+            let batch: std::sync::Arc<[ViewerState]> = states.into();
+            sh.send_control(
+                now,
+                me,
+                sh.cub_node(to),
+                Message::RetiredReplay {
+                    from: self.id,
+                    states: batch,
+                },
+            );
+        }
+        // Aged active entries due to forward into the rejoiner should go
+        // now, not at the next periodic cadence.
+        sh.queue.schedule(
+            now + SimDuration::from_millis(1),
+            Event::ForwardPass { cub: self.id },
+        );
     }
 
     /// Mirror catch-up (the covering partner's half of a rejoin): hand the
@@ -828,10 +918,14 @@ impl Cub {
         // Pieces between the expected one and ours whose holders are dead
         // are unrecoverable (double-forwarded copies also skip ahead, but
         // those skipped holders are alive and serve from their own copies —
-        // only dead holders count as losses).
+        // only dead holders count as losses) — unless the spare shield
+        // holds ready copies of the span, in which case the dead holder's
+        // record routes to the serving spare instead.
         for j in expected_piece..piece {
             let holder_cub = stripe.cub_of(stripe.disk_after(failed_disk, j + 1));
-            if self.ring.believes_failed(holder_cub) {
+            if self.ring.believes_failed(holder_cub)
+                && !self.route_to_shield(sh, now, vs, failed_disk, j)
+            {
                 sh.metrics.loss.failover_lost += 1;
             }
         }
@@ -989,6 +1083,153 @@ impl Cub {
                 }
             }
         }
+        // Dead holders *ahead* of this piece whose spans the shield
+        // holds: route their records to the serving spare now. The living
+        // chain never reaches pieces past its last living holder (the
+        // successor outside the span drops the record), and for mid-chain
+        // dead holders the next living holder's receive loop routes a
+        // duplicate — the spare's by-key table dedups it.
+        for j in piece + 1..stripe.decluster {
+            let holder_cub = stripe.cub_of(stripe.disk_after(failed_disk, j + 1));
+            if self.ring.believes_failed(holder_cub) {
+                self.route_to_shield(sh, now, vs, failed_disk, j);
+            }
+        }
+    }
+
+    /// Routes a dead holder's mirror record to the spare shielding its
+    /// span, if one is ready. Returns whether the record was routed.
+    fn route_to_shield(
+        &self,
+        sh: &mut Shared,
+        now: SimTime,
+        mut vs: ViewerState,
+        failed_disk: DiskId,
+        piece: u32,
+    ) -> bool {
+        let Some(spare) = sh.shield.serving_spare(failed_disk, piece) else {
+            return false;
+        };
+        vs.kind = StreamKind::Mirror { failed_disk, piece };
+        let me = sh.cub_node(self.id);
+        sh.send_control(now, me, sh.cub_node(spare), Message::ViewerState(vs));
+        true
+    }
+
+    /// Shield service entry: a record routed to this spare because a
+    /// mirror piece's normal holder is dead. Only records for spans this
+    /// spare actually holds ready copies of are served; anything else is
+    /// an over-forwarded duplicate and drops.
+    fn on_shield_state(&mut self, sh: &mut Shared, now: SimTime, vs: ViewerState) {
+        let StreamKind::Mirror { failed_disk, piece } = vs.kind else {
+            return;
+        };
+        if sh.shield.serving_spare(failed_disk, piece) != Some(self.id) {
+            return;
+        }
+        self.serve_shielded_piece(sh, now, vs, failed_disk, piece);
+    }
+
+    /// Serves one shielded mirror piece in a dead holder's place: the
+    /// same acceptance, timing, and too-late rules as
+    /// [`Self::on_mirror_state`], minus the span-geometry derivation
+    /// (the spare is not in the span — the routed record already names
+    /// its piece) and minus forwarding (the living holders' chain keeps
+    /// propagating the record; the spare only fills dead holders' gaps).
+    fn serve_shielded_piece(
+        &mut self,
+        sh: &mut Shared,
+        now: SimTime,
+        vs: ViewerState,
+        failed_disk: DiskId,
+        piece: u32,
+    ) {
+        let stripe = sh.params.stripe();
+        match self.view.apply_viewer_state(vs, now) {
+            ViewApply::Inserted | ViewApply::Updated => {}
+            _ => return,
+        }
+        let key = ServiceKey {
+            slot: vs.slot,
+            instance: vs.instance,
+            kind: KindKey::Mirror(piece),
+            play_seq: vs.play_seq,
+        };
+        if self.by_key.contains_key(&key) {
+            return;
+        }
+        let block_due = sh.params.slot_send_time(failed_disk, vs.slot, now);
+        let max_legit_lead = sh.cfg.max_vstate_lead
+            + sh.params
+                .block_play_time()
+                .mul_u64(u64::from(stripe.decluster) + 1);
+        let (slot, viewer, inc) = vkey(&vs);
+        let piece_gap = sh
+            .params
+            .block_play_time()
+            .div_u64(u64::from(stripe.decluster));
+        let send_at = block_due + piece_gap.mul_u64(u64::from(piece));
+        let wrapped = max_legit_lead < sh.params.schedule_len()
+            && block_due.saturating_since(now) > max_legit_lead;
+        if wrapped || send_at <= now + SimDuration::from_millis(5) {
+            sh.tracer.record(
+                now,
+                self.id.raw(),
+                TraceEvent::VsLate {
+                    slot,
+                    viewer,
+                    inc,
+                    play_seq: vs.play_seq,
+                },
+            );
+            sh.metrics.loss.failover_lost += 1;
+            self.view.retire(vs.slot, &vs);
+            return;
+        }
+        sh.tracer.record(
+            now,
+            self.id.raw(),
+            TraceEvent::MirrorAccept {
+                slot,
+                viewer,
+                inc,
+                piece,
+            },
+        );
+        let meta = sh.catalog.get(vs.file).copied().expect("file known");
+        let piece_payload = meta.payload_size.div_u64_ceil(u64::from(stripe.decluster));
+        let token = self.alloc_token();
+        self.active.insert(
+            token,
+            Active::new(
+                vs,
+                // The copy's extent lives on the spare's local disk that
+                // mirrors the failed home's local index.
+                stripe.local_index_of(failed_disk),
+                send_at,
+                piece_gap,
+                piece_payload.as_bytes(),
+                true, // Shield records never enter the forward pass.
+            ),
+        );
+        self.by_key.insert(key, token);
+        let read_at = send_at
+            .saturating_sub(sh.cfg.scheduling_lead.mul_u64(3))
+            .max(now);
+        sh.queue.schedule(
+            read_at,
+            Event::ReadIssue {
+                cub: self.id,
+                token,
+            },
+        );
+        sh.queue.schedule(
+            send_at,
+            Event::SendDue {
+                cub: self.id,
+                token,
+            },
+        );
     }
 
     // --- Coded-backend service (tiger-coded) --------------------------------
@@ -1287,7 +1528,7 @@ impl Cub {
     /// retried shortly, down to a hard floor of one scheduling lead before
     /// the send.
     pub fn on_read_issue(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
-        if self.failed {
+        if self.failed && !sh.shield.is_serving_spare(self.id) {
             return;
         }
         let Some(entry) = self.active.get_mut(&token) else {
@@ -1314,7 +1555,13 @@ impl Cub {
         }
         let stripe = sh.params.stripe();
         let local = entry.disk_local;
-        let disk_id = stripe.disk_of(self.id, local);
+        let disk_id = match entry.vs.kind {
+            // A shield-serving spare's copies are keyed under the failed
+            // home disk: spares have no ids in the stripe's disk
+            // namespace (only their physical `local` index is real).
+            StreamKind::Mirror { failed_disk, .. } if self.failed => failed_disk,
+            _ => stripe.disk_of(self.id, local),
+        };
         if entry.vs.kind == StreamKind::Primary {
             // Buffer-cache check (§5 measured <0.05% hits: staggered
             // viewers rarely re-read a block while it is still resident).
@@ -1422,7 +1669,7 @@ impl Cub {
 
     /// Handles a disk-read completion.
     pub fn on_disk_done(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
-        if self.failed {
+        if self.failed && !sh.shield.is_serving_spare(self.id) {
             return;
         }
         let Some(entry) = self.active.get_mut(&token) else {
@@ -1468,7 +1715,7 @@ impl Cub {
 
     /// The block (or piece) for `token` is due at the network.
     pub fn on_send_due(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
-        if self.failed {
+        if self.failed && !sh.shield.is_serving_spare(self.id) {
             return;
         }
         let Some(entry) = self.active.get_mut(&token) else {
@@ -1539,7 +1786,7 @@ impl Cub {
 
     /// A paced transmission finished: free the NIC, deliver to the client.
     pub fn on_send_done(&mut self, sh: &mut Shared, now: SimTime, token: ServiceToken) {
-        if self.failed {
+        if self.failed && !sh.shield.is_serving_spare(self.id) {
             return;
         }
         let Some(entry) = self.active.get(&token).copied() else {
@@ -1727,10 +1974,11 @@ impl Cub {
         let horizon = now.saturating_sub(sh.cfg.deschedule_hold);
         self.shadows.retain(|_, s| s.due >= horizon);
         // Retired-log GC: keep one failure-detection window.
-        let retire_horizon = now.saturating_sub(
-            sh.cfg.deadman_timeout + sh.cfg.deadman_interval.mul_u64(2) + sh.cfg.deschedule_hold,
+        crate::recovery::prune_retired(
+            &mut self.retired_log,
+            now,
+            crate::recovery::retired_retention(&sh.cfg),
         );
-        self.retired_log.retain(|&(at, _)| at >= retire_horizon);
         // Mirror-creation memory GC is keyed the same way; bound its size.
         if self.mirrors_created.len() > 100_000 {
             self.mirrors_created.clear();
@@ -2260,6 +2508,17 @@ impl Cub {
         }
     }
 
+    /// Clears the viewer/schedule state every reset path discards: the
+    /// bounded schedule view, shadowed records, queued insertions, and the
+    /// retired log. Power-cut, restart, and restripe cut-over all call
+    /// this and layer their site-specific extras on top.
+    fn reset_viewer_state(&mut self) {
+        self.view = ScheduleView::new();
+        self.shadows.clear();
+        self.ins.clear_queues();
+        self.retired_log.clear();
+    }
+
     /// Power-cut: the cub stops doing anything; its disks die with it.
     pub fn power_cut(&mut self, now: SimTime) {
         self.failed = true;
@@ -2268,10 +2527,7 @@ impl Cub {
         }
         self.active.clear();
         self.by_key.clear();
-        self.view = ScheduleView::new();
-        self.shadows.clear();
-        self.ins.clear_queues();
-        self.retired_log.clear();
+        self.reset_viewer_state();
         self.buffer_bytes_in_use = 0;
     }
 
@@ -2290,9 +2546,7 @@ impl Cub {
         }
         self.active.clear();
         self.by_key.clear();
-        self.view = ScheduleView::new();
-        self.shadows.clear();
-        self.retired_log.clear();
+        self.reset_viewer_state();
         self.mirrors_created.clear();
         self.cache_resident.clear();
         self.buffer_bytes_in_use = 0;
@@ -2365,13 +2619,10 @@ impl Cub {
                 self.reclaim(now, token, None);
             }
         }
-        self.view = ScheduleView::new();
+        self.reset_viewer_state();
         for &d in fences {
             self.view.apply_deschedule(d, now, hold_until);
         }
-        self.shadows.clear();
-        self.ins.clear_queues();
-        self.retired_log.clear();
         self.mirrors_created.clear();
         self.eof_sent.clear();
         self.ring.clear_handback();

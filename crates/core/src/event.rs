@@ -122,6 +122,20 @@ pub enum Event {
         /// Index into the restripe plan's move list.
         idx: u32,
     },
+    /// Spare shield: periodic pump — issue eligible background reads of
+    /// the mirror pieces being copied to a provisioned spare.
+    ShieldTick,
+    /// Spare shield: a background read of copy `idx` completed on its
+    /// source disk; the piece now transfers over the network.
+    ShieldRead {
+        /// Index into the shield executor's copy list.
+        idx: u32,
+    },
+    /// Spare shield: copy `idx` arrived at its spare.
+    ShieldArrive {
+        /// Index into the shield executor's copy list.
+        idx: u32,
+    },
     /// The backup controller's silence timer fired: promote it.
     PromoteBackup,
     /// Workload: a client issues a start request for a file.

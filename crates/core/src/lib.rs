@@ -42,7 +42,9 @@ pub mod mbr;
 pub mod mbr_dist;
 pub mod metrics;
 pub mod msg;
+pub mod recovery;
 pub mod restripe;
+pub mod shield;
 pub mod system;
 
 pub use central::{central_control_send_rate, CentralSystem};
@@ -56,5 +58,6 @@ pub use mbr_dist::{MbrDistStats, MbrSystem};
 pub use metrics::{LossReport, Metrics, WindowSample};
 pub use msg::Message;
 pub use restripe::LiveRestripe;
-pub use system::TigerSystem;
+pub use shield::ShieldMap;
+pub use system::{RestripeStep, TigerSystem};
 pub use tiger_layout::RedundancyMode;

@@ -14,7 +14,7 @@
 //! resumable plan, and a later [`crate::event::Event::RestartCub`] revives
 //! the disks and lets the pump pick the moves back up.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use tiger_disk::{DiskError, DiskRequest, RequestKind};
 use tiger_layout::{DiskId, RestripePlan};
@@ -56,16 +56,32 @@ pub struct LiveRestripe {
     next_eligible: Vec<SimTime>,
     /// A stall was already traced for the current starvation episode.
     stalled: bool,
+    /// Shrink drain progress per removed cub: `(remaining, total)` moves
+    /// out of that cub's disks. A `ShrinkDrain` trace records each cub's
+    /// drain completing — its primaries now all live on survivors, and
+    /// only the cut-over fence remains.
+    drain: HashMap<u32, (u32, u32)>,
 }
 
 impl LiveRestripe {
     /// Sets up the pipeline over `plan`'s moves.
     pub(crate) fn new(plan: RestripePlan, now: SimTime) -> Self {
         let old = plan.old_config();
+        let new = plan.new_config();
         let num_disks = (old.num_cubs * old.disks_per_cub) as usize;
         let mut disk_queue = vec![VecDeque::new(); num_disks];
+        let mut drain: HashMap<u32, (u32, u32)> = HashMap::new();
         for (i, mv) in plan.moves().iter().enumerate() {
             disk_queue[mv.from.index()].push_back(i as u32);
+            // A shrink drains every block homed on the removed trailing
+            // cubs; count those moves per cub so the drain's completion
+            // is observable before the cut-over fence.
+            let src = old.cub_of(mv.from);
+            if src.raw() >= new.num_cubs {
+                let e = drain.entry(src.raw()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += 1;
+            }
         }
         let pending = plan.moves().len();
         LiveRestripe {
@@ -74,6 +90,7 @@ impl LiveRestripe {
             disk_queue,
             next_eligible: vec![now; num_disks],
             stalled: false,
+            drain,
             plan,
         }
     }
@@ -209,11 +226,12 @@ impl LiveRestripe {
 
     /// A block landed on its destination machine: commit it into the new
     /// disk's space map and index.
-    pub(crate) fn on_arrive(&mut self, cubs: &mut [Cub], idx: u32) {
+    pub(crate) fn on_arrive(&mut self, sh: &mut Shared, cubs: &mut [Cub], now: SimTime, idx: u32) {
         if self.state[idx as usize] != MoveState::Transferring {
             return;
         }
         let mv = self.plan.moves()[idx as usize];
+        let old = self.plan.old_config();
         let new = self.plan.new_config();
         let dst_cub = new.cub_of(mv.to);
         let local = new.local_index_of(mv.to);
@@ -228,6 +246,20 @@ impl LiveRestripe {
         cub.load_primary(mv.to, local, mv.file, mv.block, mv.size);
         self.state[idx as usize] = MoveState::Arrived;
         self.pending -= 1;
+        let src = old.cub_of(mv.from);
+        if let Some(e) = self.drain.get_mut(&src.raw()) {
+            e.0 -= 1;
+            if e.0 == 0 {
+                sh.tracer.record(
+                    now,
+                    CTRL,
+                    TraceEvent::ShrinkDrain {
+                        cub: src.raw(),
+                        moved: e.1,
+                    },
+                );
+            }
+        }
     }
 
     fn requeue(&mut self, from: DiskId, idx: u32) {

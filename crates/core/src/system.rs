@@ -61,6 +61,11 @@ pub struct Shared {
     /// Coded-backend runtime (shard placement plus the per-disk load
     /// index holder choice ranks against). `None` under mirroring.
     pub coded: Option<CodedRuntime>,
+    /// Ready spare-shield spans: which spare serves which failed disk's
+    /// mirror pieces. Cubs consult it on the cover path; empty (and
+    /// costing one hash probe on the failure paths only) unless a shield
+    /// campaign completed spans.
+    pub shield: crate::shield::ShieldMap,
 }
 
 /// Runtime state of the `tiger-coded` backend: the shard placement and
@@ -285,8 +290,35 @@ pub struct TigerSystem {
     periodic_forward_due: Vec<SimTime>,
     /// An in-progress live restripe, if one is executing.
     restripe: Option<crate::restripe::LiveRestripe>,
-    /// How many spare cubs the next [`Event::RestripeStart`] absorbs.
-    restripe_add: Option<u32>,
+    /// The geometry delta the restripe currently executing (or armed to
+    /// start) applies at its cut-over.
+    restripe_step: Option<RestripeStep>,
+    /// Queued follow-on restripe steps, executed in order: each starts at
+    /// the previous step's cut-over (or at its own armed start time,
+    /// whichever is later).
+    restripe_queue: std::collections::VecDeque<RestripeStep>,
+    /// How many [`Event::RestripeStart`] instants have fired while an
+    /// earlier step was still executing: each arms the next queued step
+    /// to begin at that step's cut-over.
+    restripe_armed: usize,
+    /// Background spare-shield copy pipeline (None when idle).
+    shield_exec: Option<crate::shield::ShieldExec>,
+    /// Striped cubs already shielded in the current geometry epoch (the
+    /// campaign runs once per failure declaration; cleared at cut-over).
+    shield_done: std::collections::HashSet<CubId>,
+    /// Spares currently holding shield copies (one campaign per spare).
+    shield_spares_used: std::collections::HashSet<CubId>,
+}
+
+/// One queued restripe step: the membership delta applied at its
+/// cut-over. Exactly one of `add`/`remove` is nonzero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestripeStep {
+    /// Spares absorbed into the stripe.
+    pub add: u32,
+    /// Trailing stripe members drained and fenced out (they rejoin the
+    /// spare pool).
+    pub remove: u32,
 }
 
 impl TigerSystem {
@@ -366,6 +398,7 @@ impl TigerSystem {
                 tracer: Tracer::from_env(),
                 faults: ProcFaults::disabled(),
                 coded,
+                shield: crate::shield::ShieldMap::default(),
             },
             cubs,
             controller: Controller::new(),
@@ -381,7 +414,12 @@ impl TigerSystem {
             window_start: SimTime::ZERO,
             periodic_forward_due: vec![SimTime::ZERO; num_cubs as usize],
             restripe: None,
-            restripe_add: None,
+            restripe_step: None,
+            restripe_queue: std::collections::VecDeque::new(),
+            restripe_armed: 0,
+            shield_exec: None,
+            shield_done: std::collections::HashSet::new(),
+            shield_spares_used: std::collections::HashSet::new(),
         };
         sys.schedule_periodic_events();
         sys
@@ -663,7 +701,7 @@ impl TigerSystem {
             }
         }
         for decl in &plan.restripes {
-            self.request_restripe(decl.at, decl.add_cubs);
+            self.enqueue_restripe(decl.at, decl.add_cubs, decl.remove_cubs);
         }
         for df in &plan.disks {
             if let DiskFaultKind::Death { at } = df.kind {
@@ -770,23 +808,60 @@ impl TigerSystem {
     /// the provisioned spares into the stripe. The moves execute as
     /// background work inside the event loop; when the last block lands,
     /// the system cuts over to the new geometry and re-inserts every
-    /// running viewer.
+    /// running viewer. Steps queue: a request issued while an earlier
+    /// step is still executing arms the next step to begin at that
+    /// step's cut-over.
     ///
     /// # Panics
     ///
-    /// Panics if `add_cubs` exceeds the configured spares, or if a
-    /// restripe is already scheduled (one at a time).
+    /// Panics if the step is invalid against the membership projected
+    /// through every step already accepted (see `enqueue_restripe`).
     pub fn request_restripe(&mut self, at: SimTime, add_cubs: u32) {
+        self.enqueue_restripe(at, add_cubs, 0);
+    }
+
+    /// Schedules a live *shrink* at time `at`: the last `remove_cubs`
+    /// stripe members drain their primaries to the survivors through the
+    /// background mirror lane, then are fenced out of the ring at the
+    /// cut-over and rejoin the spare pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is invalid (see `enqueue_restripe`).
+    pub fn request_restripe_remove(&mut self, at: SimTime, remove_cubs: u32) {
+        self.enqueue_restripe(at, 0, remove_cubs);
+    }
+
+    /// Queues one restripe step (grow or shrink; both-zero is a legal
+    /// no-op step that cuts over immediately), validating it against the
+    /// membership *projected* through every previously accepted step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both of `add`/`remove` are nonzero, if a grow exceeds
+    /// the projected spare pool, or if a shrink would not leave at least
+    /// one striped cub.
+    pub fn enqueue_restripe(&mut self, at: SimTime, add: u32, remove: u32) {
         assert!(
-            add_cubs <= self.shared.cfg.spare_cubs,
-            "restripe adds {add_cubs} cubs but only {} spares are provisioned",
-            self.shared.cfg.spare_cubs
+            add == 0 || remove == 0,
+            "a restripe step adds or removes cubs, not both (add={add}, remove={remove})"
+        );
+        // Project membership through the executing step and the queue.
+        let mut striped = self.shared.cfg.stripe.num_cubs;
+        let mut spares = self.shared.cfg.spare_cubs;
+        for step in self.restripe_step.iter().chain(self.restripe_queue.iter()) {
+            striped = striped + step.add - step.remove;
+            spares = spares - step.add + step.remove;
+        }
+        assert!(
+            add <= spares,
+            "restripe adds {add} cubs but only {spares} spares are (projected) provisioned"
         );
         assert!(
-            self.restripe_add.is_none() && self.restripe.is_none(),
-            "a restripe is already in progress"
+            remove < striped,
+            "restripe removes {remove} of {striped} (projected) striped cubs; at least one must remain"
         );
-        self.restripe_add = Some(add_cubs);
+        self.restripe_queue.push_back(RestripeStep { add, remove });
         self.shared.queue.schedule(at, Event::RestripeStart);
     }
 
@@ -840,18 +915,31 @@ impl TigerSystem {
         );
     }
 
-    /// Handles [`Event::RestripeStart`]: plan the moves against the
-    /// current catalog and start the background pipeline.
+    /// Handles [`Event::RestripeStart`]: pop the next queued step and
+    /// start its background pipeline — or, if an earlier step is still
+    /// executing, arm the step to begin at that step's cut-over.
     fn restripe_start(&mut self, now: SimTime) {
-        let Some(add) = self.restripe_add else {
-            return;
-        };
-        if self.restripe.is_some() {
+        if self.restripe_step.is_some() {
+            // Busy: remember that this step's start time has passed so
+            // the cut-over launches it immediately.
+            self.restripe_armed += 1;
             return;
         }
+        let Some(step) = self.restripe_queue.pop_front() else {
+            return;
+        };
+        self.restripe_step = Some(step);
+        self.begin_restripe(now, step);
+    }
+
+    /// Plans and launches one restripe step's background move pipeline.
+    fn begin_restripe(&mut self, now: SimTime, step: RestripeStep) {
         let old = self.shared.cfg.stripe;
-        let new =
-            tiger_layout::StripeConfig::new(old.num_cubs + add, old.disks_per_cub, old.decluster);
+        let new = tiger_layout::StripeConfig::new(
+            old.num_cubs + step.add - step.remove,
+            old.disks_per_cub,
+            old.decluster,
+        );
         let plan = tiger_layout::RestripePlan::plan(&self.shared.catalog, old, new);
         self.shared.tracer.record(
             now,
@@ -881,7 +969,7 @@ impl TigerSystem {
         let Some(lr) = self.restripe.take() else {
             return;
         };
-        self.restripe_add = None;
+        self.restripe_step = None;
         let plan = lr.into_plan();
         let old = plan.old_config();
         let new = plan.new_config();
@@ -933,10 +1021,14 @@ impl TigerSystem {
             cub.cutover_reset(now, &fences, hold_until);
         }
         // 3. Swap the geometry: config, derived parameters, catalog
-        // start-disks, mirror placement.
-        let add = new.num_cubs - old.num_cubs;
+        // start-disks, mirror placement. Absorbed spares leave the spare
+        // pool; shrunk-out members rejoin it.
         self.shared.cfg.stripe = new;
-        self.shared.cfg.spare_cubs -= add;
+        if new.num_cubs >= old.num_cubs {
+            self.shared.cfg.spare_cubs -= new.num_cubs - old.num_cubs;
+        } else {
+            self.shared.cfg.spare_cubs += old.num_cubs - new.num_cubs;
+        }
         self.shared.params = ScheduleParams::derive(
             new,
             self.shared.cfg.block_play_time,
@@ -962,10 +1054,18 @@ impl TigerSystem {
         }
         self.relay_secondaries();
         // 5. Ring: activate the absorbed spares (their disks were live all
-        // along) and distribute the ground-truth membership map — the
-        // restriper's cut-over barrier is the one moment it is known.
+        // along) / fence out the shrunk members (their disks and NICs
+        // stay alive — they are spares again, with emptied primaries) and
+        // distribute the ground-truth membership map — the restriper's
+        // cut-over barrier is the one moment it is known.
         for j in old.num_cubs..new.num_cubs {
             self.cubs[j as usize].failed = false;
+        }
+        for j in new.num_cubs..old.num_cubs {
+            self.cubs[j as usize].failed = true;
+            self.shared
+                .tracer
+                .record(now, CTRL, TraceEvent::ShrinkFence { cub: j });
         }
         let failed_map: Vec<bool> = self.cubs.iter().map(|c| c.failed).collect();
         for cub in &mut self.cubs {
@@ -1003,6 +1103,19 @@ impl TigerSystem {
             };
             self.on_client_start(now, ci, file, resume, renewed);
         }
+        // 8. Shield copies rode the secondary layout `relay_secondaries`
+        // just rebuilt: the permanent mirror geometry has absorbed the
+        // exposure, so the interim shield evaporates with it.
+        self.shared.shield.clear();
+        self.shield_exec = None;
+        self.shield_done.clear();
+        self.shield_spares_used.clear();
+        // 9. Launch the next queued step if its start time already passed
+        // while this step was executing.
+        if self.restripe_armed > 0 {
+            self.restripe_armed -= 1;
+            self.restripe_start(now);
+        }
     }
 
     /// Re-derives every cub's mirror (secondary) layout for the current
@@ -1034,6 +1147,113 @@ impl TigerSystem {
                     );
                 }
             }
+        }
+    }
+
+    // --- Spare shield --------------------------------------------------------
+
+    /// A cub was first declared failed: if the shield is enabled and a
+    /// free spare exists, start background-copying the mirror pieces
+    /// shadowing the failed cub's disks (the now most-exposed decluster
+    /// spans) onto the spare, which serves them if a second failure lands
+    /// before the restripe cut-over rebuilds permanent redundancy.
+    fn maybe_shield(&mut self, now: SimTime, failed: CubId) {
+        let stripe = self.shared.cfg.stripe;
+        if !self.shared.cfg.spare_shield
+            || self.shared.cfg.redundancy != RedundancyMode::Mirrored
+            || failed.raw() >= stripe.num_cubs
+            || !self.shield_done.insert(failed)
+        {
+            return;
+        }
+        // Lowest free spare: powered, not a stripe member, not already
+        // holding another campaign's copies.
+        let total = self.shared.cfg.total_cubs();
+        let Some(spare) = (stripe.num_cubs..total).map(CubId).find(|&s| {
+            self.cubs[s.index()].failed
+                && !self.shield_spares_used.contains(&s)
+                && self.cubs[s.index()].disks().iter().all(|d| !d.is_failed())
+        }) else {
+            self.shield_done.remove(&failed);
+            return; // No spare free; a later declaration may find one.
+        };
+        // Build the copy list: for every block homed on a failed cub's
+        // disk, each surviving holder's mirror piece (skipping holders
+        // the controller already believes failed — those pieces are the
+        // already-lost case the shield cannot help).
+        let mut copies = Vec::new();
+        let files = self.shared.catalog.files().to_vec();
+        for l in 0..stripe.disks_per_cub {
+            let home = stripe.disk_of(failed, l);
+            for meta in &files {
+                for b in 0..meta.num_blocks {
+                    let loc = self
+                        .shared
+                        .catalog
+                        .locate(meta.id, BlockNum(b))
+                        .expect("in range");
+                    if loc.disk != home {
+                        continue;
+                    }
+                    for piece in self.shared.secondary_pieces(home, meta.block_size) {
+                        let holder = stripe.cub_of(piece.disk);
+                        if self.controller_believes_failed.is_failed(holder) {
+                            continue;
+                        }
+                        copies.push(crate::shield::ShieldCopy {
+                            src: piece.disk,
+                            home,
+                            home_local: l,
+                            spare,
+                            file: meta.id,
+                            block: BlockNum(b),
+                            piece: piece.piece,
+                            size: piece.size,
+                        });
+                    }
+                }
+            }
+        }
+        if copies.is_empty() {
+            self.shield_done.remove(&failed);
+            return;
+        }
+        self.shield_spares_used.insert(spare);
+        let was_idle = self.shield_exec.is_none();
+        self.shield_exec
+            .get_or_insert_with(|| crate::shield::ShieldExec::new(stripe, now))
+            .extend(copies);
+        self.with_shield(|se, sh, cubs| se.pump(sh, cubs, now));
+        if was_idle && self.shield_exec.is_some() {
+            self.shared
+                .queue
+                .schedule(now + SimDuration::from_millis(100), Event::ShieldTick);
+        }
+    }
+
+    /// Handles [`Event::ShieldTick`]: pump the copy pipeline and re-arm
+    /// while work remains.
+    fn shield_tick(&mut self, now: SimTime) {
+        self.with_shield(|se, sh, cubs| se.pump(sh, cubs, now));
+        if self.shield_exec.is_some() {
+            self.shared
+                .queue
+                .schedule(now + SimDuration::from_millis(100), Event::ShieldTick);
+        }
+    }
+
+    /// Runs `f` against the in-progress shield pipeline (no-op if none),
+    /// dropping it once every copy has landed.
+    fn with_shield(
+        &mut self,
+        f: impl FnOnce(&mut crate::shield::ShieldExec, &mut Shared, &mut [Cub]),
+    ) {
+        let Some(mut se) = self.shield_exec.take() else {
+            return;
+        };
+        f(&mut se, &mut self.shared, &mut self.cubs);
+        if se.pending() > 0 {
+            self.shield_exec = Some(se);
         }
     }
 
@@ -1205,7 +1425,14 @@ impl TigerSystem {
                 self.with_restripe(now, |lr, sh, cubs| lr.on_read_done(sh, cubs, now, idx));
             }
             Event::RestripeArrive { idx } => {
-                self.with_restripe(now, |lr, _sh, cubs| lr.on_arrive(cubs, idx));
+                self.with_restripe(now, |lr, sh, cubs| lr.on_arrive(sh, cubs, now, idx));
+            }
+            Event::ShieldTick => self.shield_tick(now),
+            Event::ShieldRead { idx } => {
+                self.with_shield(|se, sh, cubs| se.on_read_done(sh, cubs, now, idx));
+            }
+            Event::ShieldArrive { idx } => {
+                self.with_shield(|se, sh, cubs| se.on_arrive(sh, cubs, now, idx));
             }
         }
     }
@@ -1403,7 +1630,11 @@ impl TigerSystem {
                 self.controller.on_viewer_finished(instance);
             }
             Message::FailureNotice { failed } => {
+                let first = !self.controller_believes_failed.is_failed(failed);
                 self.controller_believes_failed.set_failed(failed, true);
+                if first {
+                    self.maybe_shield(now, failed);
+                }
             }
             Message::RejoinRequest { from } => {
                 // A restarted cub is routable again.

@@ -284,6 +284,85 @@ fn restripe_resumes_across_mid_restripe_crash() {
     );
 }
 
+/// The shrink oracle: the same content statically laid out on the
+/// 5-cub target geometry (one member drained and fenced).
+fn shrink_oracle_digest() -> String {
+    let (sys, _) = restripe_system();
+    let (oracle, _plan) = sys.restripe_into(StripeConfig::new(5, 1, 2));
+    oracle.layout_digest()
+}
+
+#[test]
+fn fault_free_live_shrink_matches_static_oracle() {
+    let (mut sys, _viewers) = restripe_system();
+    sys.enable_trace(65_536);
+    sys.request_restripe_remove(SimTime::from_secs(5), 1);
+    sys.run_until(SimTime::from_secs(160));
+
+    let records = sys.tracer().records();
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.ev, TraceEvent::ShrinkDrain { cub: 5, .. })),
+        "departing cub never finished draining"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.ev, TraceEvent::ShrinkFence { cub: 5 })),
+        "departing cub never fenced at cut-over"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.ev, TraceEvent::RestripeCutover { .. })),
+        "shrink never cut over"
+    );
+    assert_eq!(
+        sys.layout_digest(),
+        shrink_oracle_digest(),
+        "live shrink landed a different layout than the static plan"
+    );
+}
+
+#[test]
+fn shrink_resumes_across_mid_drain_crash() {
+    // A surviving destination cub dies while the departing member's
+    // primaries are draining onto it, then restarts: the moves targeting
+    // it park, resume after the rejoin, and the plan still drains to the
+    // oracle's exact layout.
+    let (mut sys, _viewers) = restripe_system();
+    sys.enable_trace(65_536);
+    sys.request_restripe_remove(SimTime::from_secs(5), 1);
+    sys.fail_cub_at(SimTime::from_millis(5_300), CubId(1));
+    sys.restart_cub_at(SimTime::from_secs(15), CubId(1));
+    sys.run_until(SimTime::from_secs(180));
+
+    let records = sys.tracer().records();
+    let cutover_at = records
+        .iter()
+        .find_map(|r| match r.ev {
+            TraceEvent::RestripeCutover { .. } => Some(r.at),
+            _ => None,
+        })
+        .expect("shrink never completed after the crash");
+    assert!(
+        cutover_at > SimTime::from_secs(15),
+        "cut-over cannot precede the destination cub's restart"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.ev, TraceEvent::ShrinkFence { cub: 5 })),
+        "departing cub never fenced after the crash"
+    );
+    assert_eq!(
+        sys.layout_digest(),
+        shrink_oracle_digest(),
+        "crash + resume corrupted the shrink layout"
+    );
+}
+
 #[test]
 fn restripe_noop_when_no_moves_needed() {
     // Adding zero cubs plans zero moves and cuts over immediately without

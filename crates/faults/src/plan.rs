@@ -209,16 +209,21 @@ pub enum ProcessFault {
     },
 }
 
-/// A scheduled live restripe: at `at`, the system computes a
+/// A scheduled live restripe step: at `at`, the system computes a
 /// [`RestripePlan`](../tiger_layout) toward a stripe widened by
-/// `add_cubs` pre-provisioned spare cubs and starts executing it as
-/// background disk/net work inside the event loop.
+/// `add_cubs` pre-provisioned spare cubs — or shrunk by `remove_cubs`
+/// trailing members, which drain their primaries to the survivors and
+/// are fenced out at the cut-over — and starts executing it as
+/// background disk/net work inside the event loop. Exactly one of the
+/// two counts is nonzero; steps queue and run in order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RestripeDecl {
     /// When the restripe starts.
     pub at: SimTime,
     /// How many spare cubs the new stripe adds.
     pub add_cubs: u32,
+    /// How many trailing stripe members the new stripe removes.
+    pub remove_cubs: u32,
 }
 
 /// A whole scenario: what goes wrong, where, and when.
@@ -420,7 +425,23 @@ impl FaultPlan {
 
     /// Schedules a live restripe at `at` adding `add_cubs` spare cubs.
     pub fn restripe(mut self, at: SimTime, add_cubs: u32) -> Self {
-        self.restripes.push(RestripeDecl { at, add_cubs });
+        self.restripes.push(RestripeDecl {
+            at,
+            add_cubs,
+            remove_cubs: 0,
+        });
+        self
+    }
+
+    /// Schedules a live shrink at `at` removing the last `remove_cubs`
+    /// stripe members (they drain to the survivors, then rejoin the
+    /// spare pool at the cut-over).
+    pub fn restripe_remove(mut self, at: SimTime, remove_cubs: u32) -> Self {
+        self.restripes.push(RestripeDecl {
+            at,
+            add_cubs: 0,
+            remove_cubs,
+        });
         self
     }
 
@@ -481,6 +502,7 @@ impl FaultPlan {
     /// power-domain c1,c2 at=9s
     /// restart c1 at=15s
     /// restripe at=20s add=1
+    /// restripe at=25s remove=1
     /// ```
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
@@ -627,14 +649,29 @@ fn parse_clause(line: &str, plan: &mut FaultPlan) -> Result<(), String> {
         // token — only key=value arguments.
         let args = Args::new(rest)?;
         let at = parse_time(args.get("at")?)?;
-        let add_cubs: u32 = args
-            .get("add")?
-            .parse()
-            .map_err(|_| "bad add= (expected a cub count)".to_string())?;
-        if add_cubs == 0 {
-            return Err("add= must be at least 1".to_string());
+        let add_cubs: u32 = match args.opt("add") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| "bad add= (expected a cub count)".to_string())?,
+            None => 0,
+        };
+        let remove_cubs: u32 = match args.opt("remove") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| "bad remove= (expected a cub count)".to_string())?,
+            None => 0,
+        };
+        if add_cubs == 0 && remove_cubs == 0 {
+            return Err("restripe needs add= or remove= of at least 1".to_string());
         }
-        plan.restripes.push(RestripeDecl { at, add_cubs });
+        if add_cubs > 0 && remove_cubs > 0 {
+            return Err("restripe takes add= or remove=, not both".to_string());
+        }
+        plan.restripes.push(RestripeDecl {
+            at,
+            add_cubs,
+            remove_cubs,
+        });
         return Ok(());
     }
     let (&head, kvs) = rest.split_first().ok_or("clause needs a target")?;
@@ -873,7 +910,8 @@ power-domain c1,c2 at=9s
             plan.restripes,
             vec![RestripeDecl {
                 at: SimTime::from_secs(20),
-                add_cubs: 1
+                add_cubs: 1,
+                remove_cubs: 0
             }]
         );
         assert!(!plan.is_empty());
@@ -881,6 +919,12 @@ power-domain c1,c2 at=9s
         assert!(!FaultPlan::new()
             .restripe(SimTime::from_secs(1), 1)
             .is_empty());
+        // A shrink step parses to the same declaration the builder makes.
+        let shrink = FaultPlan::parse("restripe at=25s remove=1\n").expect("parses");
+        assert_eq!(
+            shrink,
+            FaultPlan::new().restripe_remove(SimTime::from_secs(25), 1)
+        );
 
         for (bad, needle) in [
             ("restart c1", "at="),
@@ -888,6 +932,8 @@ power-domain c1,c2 at=9s
             ("restripe at=20s add=0", "at least 1"),
             ("restripe at=20s", "add="),
             ("restripe add=1", "at="),
+            ("restripe at=20s remove=0", "at least 1"),
+            ("restripe at=20s add=1 remove=1", "not both"),
         ] {
             let err = FaultPlan::parse(bad).expect_err(bad);
             assert!(err.contains(needle), "{bad} -> {err}");

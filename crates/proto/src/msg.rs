@@ -118,6 +118,18 @@ pub enum Message {
         /// Raw ids of cubs the neighbour currently believes failed.
         failed: Arc<[u32]>,
     },
+    /// A ring predecessor's retired-log tail, replayed to a rejoining cub
+    /// alongside [`Message::RejoinAck`]: each record is already advanced
+    /// to its next due position on the rejoiner's disks, so the rejoiner
+    /// reconstructs its in-flight viewer state immediately instead of
+    /// waiting up to a full forward interval for natural circulation
+    /// (§2.3 gap bridging applied to rejoin).
+    RetiredReplay {
+        /// The replaying predecessor.
+        from: CubId,
+        /// Advanced viewer-state records owned by the rejoiner.
+        states: Arc<[ViewerState]>,
+    },
     /// A cub announces that it has declared `failed` dead.
     FailureNotice {
         /// The failed cub.
@@ -174,6 +186,9 @@ impl Message {
             Message::DeadmanPing { .. } => FRAME_BYTES + 8,
             Message::RejoinRequest { .. } => FRAME_BYTES + 8,
             Message::RejoinAck { failed, .. } => FRAME_BYTES + 8 + 4 * failed.len() as u64,
+            Message::RetiredReplay { states, .. } => {
+                FRAME_BYTES + 8 + ViewerState::WIRE_BYTES * states.len() as u64
+            }
             Message::FailureNotice { .. } => FRAME_BYTES + 8,
             Message::StreamData { .. } => 0,
             Message::MbrReserve { .. } => FRAME_BYTES + 40,

@@ -144,6 +144,12 @@ pub struct RejoinOutcome {
     /// The receiver is a ring neighbour of the rejoiner: it must answer
     /// with a rejoin ack carrying [`RingMachine::failed_ids`].
     pub should_ack: bool,
+    /// The receiver is the rejoiner's ring *predecessor*: its retired-log
+    /// tail, advanced one position, lands on the rejoiner's disks, so it
+    /// must stream the tail as a retired-replay batch (sub-interval
+    /// rejoin). The successor's tail advances *away* from the rejoiner
+    /// and owes nothing here.
+    pub should_replay: bool,
 }
 
 /// The per-cub ring state machine: failure beliefs, deadman clocks,
@@ -283,11 +289,12 @@ impl RingMachine {
         // The ring just changed back: re-baseline predecessor monitoring
         // exactly as a failure declaration does.
         self.reset_pred_baseline(now);
-        let should_ack =
-            self.next_living(from) == Some(self.id) || self.prev_living(from) == Some(self.id);
+        let is_pred = self.prev_living(from) == Some(self.id);
+        let should_ack = self.next_living(from) == Some(self.id) || is_pred;
         Some(RejoinOutcome {
             was_covering,
             should_ack,
+            should_replay: is_pred,
         })
     }
 
@@ -487,6 +494,10 @@ mod tests {
             .expect("not self");
         assert!(out.was_covering, "the covering partner owes a hand-back");
         assert!(out.should_ack, "and is a ring neighbour");
+        assert!(
+            !out.should_replay,
+            "the successor's retired tail advances away from the rejoiner"
+        );
         assert!(!ring.believes_failed(CubId(1)), "belief cleared");
         assert!(ring.recently_rejoined(CubId(1), t1));
         assert!(
@@ -523,9 +534,47 @@ mod tests {
         assert!(!out.was_covering);
         assert!(out.should_ack, "c0 is the rejoiner's predecessor");
         assert!(
+            out.should_replay,
+            "the predecessor's retired tail lands on the rejoiner: replay"
+        );
+        assert!(
             ring.on_rejoin_request(CubId(0), t0, &cfg()).is_none(),
             "self"
         );
+    }
+
+    // Satellite coverage: the `rejoin_until` horizon boundary. The
+    // shadow re-drive on a failure declaration consults
+    // `recently_rejoined` — a record owned by a cub inside its horizon
+    // is re-driven toward it, one past the horizon is not — so the
+    // boundary semantics (`now < rejoin_until`, half-open) are pinned
+    // here to the nanosecond.
+    #[test]
+    fn rejoin_horizon_closes_exactly_at_the_boundary() {
+        let mut ring = RingMachine::new(CubId(0), 4);
+        let t0 = SimTime::from_secs(5);
+        warm(&mut ring, t0);
+        ring.declare_failed(CubId(1), t0);
+        let t1 = SimTime::from_secs(15);
+        ring.on_rejoin_request(CubId(1), t1, &cfg()).expect("ok");
+        let horizon = t1 + cfg().rejoin_horizon();
+        assert!(
+            ring.recently_rejoined(CubId(1), horizon - SimDuration::from_nanos(1)),
+            "one tick before the horizon the rejoiner is still vulnerable"
+        );
+        assert!(
+            !ring.recently_rejoined(CubId(1), horizon),
+            "exactly at the horizon the window is closed (half-open interval)"
+        );
+        assert!(!ring.recently_rejoined(CubId(1), horizon + SimDuration::from_nanos(1)));
+        // A second rejoin re-opens a fresh horizon from its own instant.
+        let t2 = horizon + SimDuration::from_secs(1);
+        ring.on_rejoin_request(CubId(1), t2, &cfg()).expect("ok");
+        assert!(ring.recently_rejoined(
+            CubId(1),
+            t2 + cfg().rejoin_horizon() - SimDuration::from_nanos(1)
+        ));
+        assert!(!ring.recently_rejoined(CubId(1), t2 + cfg().rejoin_horizon()));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! PING <from>
 //! REJOIN <from>
 //! RACK <from> <c,c,...|->                  failure beliefs ('-' = none)
+//! RPLY <from> <vs> <vs> ...                retired-log replay (may be empty)
 //! NOTICE <failed>
 //! DATA <viewer>,<inc> <block> <piece|-> <total> <bytes>
 //! MBRRSV <reservation> <viewer>,<inc> <start-ns> <rate-bps>
@@ -126,6 +127,13 @@ pub fn encode(msg: &Message) -> String {
                     }
                     s.push_str(&c.to_string());
                 }
+            }
+        }
+        Message::RetiredReplay { from, states } => {
+            s.push_str(&format!("RPLY {}", from.raw()));
+            for vs in states.iter() {
+                s.push(' ');
+                push_vs(&mut s, vs);
             }
         }
         Message::FailureNotice { failed } => s.push_str(&format!("NOTICE {}", failed.raw())),
@@ -268,6 +276,17 @@ pub fn decode(line: &str) -> Option<Message> {
             Message::RejoinAck {
                 from,
                 failed: Arc::from(failed),
+            }
+        }
+        "RPLY" => {
+            let from = CubId(it.next()?.parse().ok()?);
+            let mut states = Vec::new();
+            for tok in it {
+                states.push(parse_vs(tok)?);
+            }
+            Message::RetiredReplay {
+                from,
+                states: Arc::from(states),
             }
         }
         "NOTICE" => {
@@ -530,6 +549,18 @@ mod tests {
                 from: CubId(0),
                 failed: vec![1u32, 3].into(),
             },
+            Message::RetiredReplay {
+                from: CubId(2),
+                states: Arc::from(Vec::<ViewerState>::new()),
+            },
+            Message::RetiredReplay {
+                from: CubId(2),
+                states: vec![
+                    vs(3, 8, StreamKind::Primary),
+                    vs(4, 14, StreamKind::Primary),
+                ]
+                .into(),
+            },
             Message::FailureNotice { failed: CubId(3) },
             Message::StreamData {
                 instance: inst(12, 0),
@@ -589,12 +620,13 @@ mod tests {
             Message::DeadmanPing { .. } => 8,
             Message::RejoinRequest { .. } => 9,
             Message::RejoinAck { .. } => 10,
-            Message::FailureNotice { .. } => 11,
-            Message::StreamData { .. } => 12,
-            Message::MbrReserve { .. } => 13,
-            Message::MbrReserveReply { .. } => 14,
+            Message::RetiredReplay { .. } => 11,
+            Message::FailureNotice { .. } => 12,
+            Message::StreamData { .. } => 13,
+            Message::MbrReserve { .. } => 14,
+            Message::MbrReserveReply { .. } => 15,
         };
-        let mut seen = [false; 15];
+        let mut seen = [false; 16];
         for m in exemplars() {
             seen[tag(&m)] = true;
         }
@@ -613,6 +645,8 @@ mod tests {
             "PING 1 trailing",
             "RACK 0",
             "RACK 0 1,,2",
+            "RPLY",
+            "RPLY 0 1,2,3",
             "DESCH 1,0 5",
             "DATA 1,0 88 ? 1 10",
             "MBRRPL 1 2",

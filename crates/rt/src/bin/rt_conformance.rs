@@ -12,6 +12,13 @@
 //! shared code, so a divergence means one of the *drivers* interprets a
 //! machine verdict differently — exactly the bug class this split is
 //! meant to catch.
+//!
+//! The decision lanes now include the Recovery v2 acts: the rejoiner's
+//! ring predecessor records `handback-replay` (compared across both
+//! drivers in the crash-rejoin run), and a shrink cut-over records
+//! `shrink-fence` on the drained cub's lane — exercised by a DES-only
+//! shrink scenario below, pinned with the same extraction code, since
+//! the control-plane driver carries no restripe executor.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -40,6 +47,17 @@ fn des_oracle(cfg: &TigerConfig) -> Vec<TraceRecord> {
     sys.restart_cub_at(SimTime::from_millis(RESTART_AT_MS), CubId(VICTIM));
     sys.run_until(SimTime::from_millis(END_AT_MS));
     sys.tracer().records()
+}
+
+/// The shrink lane: a live `remove=1` restripe under the DES, reduced
+/// with the same extraction as the driver comparison. Returns the
+/// rendered lanes so `main` can assert the drained cub was fenced.
+fn des_shrink_lanes(cfg: &TigerConfig) -> String {
+    let mut sys = TigerSystem::new(cfg.clone());
+    sys.enable_trace(16_384);
+    sys.request_restripe_remove(SimTime::from_secs(1), 1);
+    sys.run_until(SimTime::from_secs(30));
+    render_decisions(&sys.tracer().records())
 }
 
 fn main() -> ExitCode {
@@ -76,8 +94,16 @@ fn main() -> ExitCode {
     let rt = render_decisions(&records);
 
     if des == rt {
+        eprintln!("rt_conformance: DES shrink lane (remove=1 cut-over)...");
+        let shrink = des_shrink_lanes(&cfg);
+        let drained = num_cubs - 1;
+        if !shrink.contains(&format!("c{drained}: shrink-fence")) {
+            eprintln!("conformance FAILED: shrink lane missing c{drained} fence");
+            eprint!("{shrink}");
+            return ExitCode::FAILURE;
+        }
         println!(
-            "conformance OK: {} decisions, both drivers agree",
+            "conformance OK: {} decisions, both drivers agree; shrink lane fences c{drained}",
             des.lines().count()
         );
         print!("{des}");

@@ -4,8 +4,10 @@
 //! numbers, timestamps, data-plane events, periodic pings. What the two
 //! drivers must agree on is the *decision sequence* — per ring lane, in
 //! order: who was declared failed, who adopted the belief, who took
-//! over, who was fenced, who granted a hand-back. This module reduces a
-//! `&[TraceRecord]` from either driver to exactly that.
+//! over, who was fenced, who granted a hand-back, who replayed its
+//! retired tail to a rejoiner, and who was fenced out of the stripe by
+//! a shrink cut-over. This module reduces a `&[TraceRecord]` from
+//! either driver to exactly that.
 //!
 //! Normalization rules:
 //!
@@ -13,9 +15,10 @@
 //!   silence on a virtual clock and the socket driver on a wall clock,
 //!   so `silence_ns` is dropped from declarations too — the decision is
 //!   *that* the predecessor was declared, and by whom.
-//! * `power-cut` and `cub-restart` are harness actions recorded on the
-//!   control lane; both drivers remap them onto the affected cub's lane
-//!   so each lane reads as that cub's complete protocol history.
+//! * `power-cut` and `cub-restart` are harness actions and
+//!   `shrink-fence` a cut-over action, all recorded on the control
+//!   lane; both drivers remap them onto the affected cub's lane so each
+//!   lane reads as that cub's complete protocol history.
 //! * Periodic pings and data-plane events (`rejoin-done` fires on the
 //!   first re-accepted *block*, which a control-plane-only driver never
 //!   sends) are excluded.
@@ -42,6 +45,17 @@ pub fn decision_lanes(records: &[TraceRecord]) -> BTreeMap<u32, Vec<String>> {
             TraceEvent::RejoinGrant { to, count } => {
                 (r.cub, format!("handback-grant to={to} count={count}"))
             }
+            // The sub-interval rejoin: the ring predecessor's decision to
+            // replay its retired tail. The batch size is data-plane
+            // detail, but in a control-only run both drivers carry an
+            // empty tail, so the count stays comparable.
+            TraceEvent::RetiredReplay { to, count } => {
+                (r.cub, format!("handback-replay to={to} count={count}"))
+            }
+            // A shrink cut-over fencing the drained cub out of the
+            // stripe: recorded on the control lane by the executor,
+            // remapped like the other harness actions.
+            TraceEvent::ShrinkFence { cub } => (cub, "shrink-fence".to_string()),
             _ => continue,
         };
         lanes.entry(lane).or_default().push(line);
@@ -93,10 +107,13 @@ mod tests {
             rec(3, 2, TraceEvent::MirrorTakeover { failed_cub: 1 }),
             rec(4, 0, TraceEvent::FailureNotice { failed: 1 }),
             rec(5, CTRL, TraceEvent::CubRestart { cub: 1 }),
-            rec(6, 2, TraceEvent::RejoinGrant { to: 1, count: 0 }),
+            rec(6, 0, TraceEvent::RetiredReplay { to: 1, count: 3 }),
+            rec(7, 2, TraceEvent::RejoinGrant { to: 1, count: 0 }),
             // Excluded: pings and data-plane rejoin completion.
-            rec(7, 0, TraceEvent::DeadmanPing { to: 1 }),
-            rec(8, 1, TraceEvent::RejoinDone { cub: 1 }),
+            rec(8, 0, TraceEvent::DeadmanPing { to: 1 }),
+            rec(9, 1, TraceEvent::RejoinDone { cub: 1 }),
+            // A shrink cut-over fences the drained cub on its own lane.
+            rec(10, CTRL, TraceEvent::ShrinkFence { cub: 3 }),
         ];
         let lanes = decision_lanes(&records);
         assert_eq!(lanes[&1], vec!["power-cut", "restart"]);
@@ -109,7 +126,11 @@ mod tests {
                 "handback-grant to=1 count=0",
             ]
         );
-        assert_eq!(lanes[&0], vec!["believe failed=1"]);
+        assert_eq!(
+            lanes[&0],
+            vec!["believe failed=1", "handback-replay to=1 count=3"]
+        );
+        assert_eq!(lanes[&3], vec!["shrink-fence"]);
     }
 
     #[test]

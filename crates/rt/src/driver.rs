@@ -324,6 +324,19 @@ impl CubThread {
                         },
                     );
                 }
+                if outcome.should_replay {
+                    // No data plane: the retired tail is empty, but the
+                    // predecessor's *decision* to replay it is the
+                    // conformance-relevant act (`Cub::replay_retired_tail`
+                    // traces it unconditionally for the same reason).
+                    self.record(
+                        now,
+                        TraceEvent::RetiredReplay {
+                            to: from.raw(),
+                            count: 0,
+                        },
+                    );
+                }
                 if outcome.was_covering {
                     // No data plane: the grant batch is always empty,
                     // but the *decision* to open the hand-back window is

@@ -211,6 +211,10 @@ trace_events! {
     /// A rejoined cub sent its first primary block: its schedule slice is
     /// warm again and mirror catch-up may end.
     RejoinDone => "rejoin-done" { cub: u32 },
+    /// A ring predecessor replayed `count` retired-log tail entries to a
+    /// rejoining cub (`to`), advanced to their next due positions — the
+    /// sub-interval rejoin path (§2.3 gap bridging applied to rejoin).
+    RetiredReplay => "retired-replay" { to: u32, count: u32 },
     /// A live restripe began executing `moves` background block moves.
     RestripeStart => "restripe-start" { moves: u32 },
     /// A restripe pass found every remaining move blocked (dead or
@@ -219,6 +223,18 @@ trace_events! {
     /// All moves committed: the system cut over to the new stripe layout
     /// after moving `moved` blocks.
     RestripeCutover => "restripe-cutover" { moved: u32 },
+    /// A shrink drain finished for one departing cub: all `moved` of its
+    /// primary blocks have landed on survivors via the mirror lane.
+    ShrinkDrain => "shrink-drain" { cub: u32, moved: u32 },
+    /// A drained cub was fenced out of the stripe at shrink cut-over and
+    /// returned to the spare pool.
+    ShrinkFence => "shrink-fence" { cub: u32 },
+    /// A registered spare finished absorbing all `count` shadow copies of
+    /// one exposed decluster span — the mirror pieces of index `piece`
+    /// homed on failed `disk` — and now serves that span as interim
+    /// mirror capacity while awaiting cut-over. Traced per span, not per
+    /// disk: spans whose surviving source died mid-copy park forever.
+    SpareShadow => "spare-shadow" { spare: u32, disk: u32, piece: u32, count: u32 },
     /// A workload plan's flash crowd reached its onset: demand on `title`
     /// surges to `peak_x10`/10 × its base rate (recorded by the workload
     /// driver, not the system — a timeline marker for correlating churn).
@@ -535,10 +551,22 @@ mod tests {
             (CTRL, TraceEvent::FaultEnd { clause: 0 }),
             (CTRL, TraceEvent::CubRestart { cub: 1 }),
             (2, TraceEvent::RejoinGrant { to: 1, count: 12 }),
+            (0, TraceEvent::RetiredReplay { to: 1, count: 5 }),
             (1, TraceEvent::RejoinDone { cub: 1 }),
             (CTRL, TraceEvent::RestripeStart { moves: 96 }),
             (CTRL, TraceEvent::RestripeStall { pending: 4 }),
             (CTRL, TraceEvent::RestripeCutover { moved: 96 }),
+            (CTRL, TraceEvent::ShrinkDrain { cub: 5, moved: 48 }),
+            (CTRL, TraceEvent::ShrinkFence { cub: 5 }),
+            (
+                CTRL,
+                TraceEvent::SpareShadow {
+                    spare: 6,
+                    disk: 2,
+                    piece: 1,
+                    count: 24,
+                },
+            ),
             (
                 CTRL,
                 TraceEvent::WorkgenBurst {

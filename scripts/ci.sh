@@ -47,18 +47,24 @@ cmp "$FLEET_T1" "$FLEET_T2"
 
 # Chaos smoke: the fault-injection sweep must pass every Tiger invariant
 # (the bin exits non-zero on any violation) and, like the fleet, produce
-# bit-identical stdout at 1 and 2 worker threads (see docs/FAULTS.md).
+# bit-identical stdout at 1, 2, and 3 worker threads (see docs/FAULTS.md).
 # The sweep includes the online-recovery scenarios — crash-rejoin,
-# double-fail-catchup (partner dies mid-handback), restripe-quiet, and
-# restripe-rejoin (crash + restart mid-restripe) — so this smoke gates
-# the rejoin and live-restripe protocols too (see docs/RECOVERY.md).
-# Fatal — a divergence means fault randomness leaked out of its RNG
-# subtree or an invariant broke.
-echo "== chaos smoke: quick sweep (incl. rejoin/restripe) at 1 vs 2 threads" >&2
+# double-fail-catchup (partner dies mid-handback), restripe-quiet,
+# restripe-rejoin (crash + restart mid-restripe), and the Recovery v2
+# trio: fast-rejoin (sub-interval retired replay), shrink-load (live
+# remove=1 under streaming), and spare-shield (double failure with a
+# spare serving shadow spans) — so this smoke gates the rejoin,
+# live-restripe/shrink, and spare-shield protocols too (see
+# docs/RECOVERY.md). Fatal — a divergence means fault randomness leaked
+# out of its RNG subtree or an invariant broke.
+echo "== chaos smoke: quick sweep (incl. rejoin/shrink/shield) at 1 vs 2 vs 3 threads" >&2
 cargo run --release -q -p tiger-bench --bin chaos -- \
     --scale quick --threads 1 > "$CHAOS_T1"
 cargo run --release -q -p tiger-bench --bin chaos -- \
     --scale quick --threads 2 > "$CHAOS_T2"
+cmp "$CHAOS_T1" "$CHAOS_T2"
+cargo run --release -q -p tiger-bench --bin chaos -- \
+    --scale quick --threads 3 > "$CHAOS_T2"
 cmp "$CHAOS_T1" "$CHAOS_T2"
 
 # Workload smoke: the canonical tiger-workgen plan sweep (Zipf hotspot,
@@ -121,6 +127,14 @@ cmp results/trace_timeline_demo.txt "$DEMO_OUT"
 echo "== recovery smoke: trace_timeline --rejoin-demo vs results/trace_rejoin_timeline.txt" >&2
 cargo run --release -q -p tiger-bench --bin trace_timeline -- --rejoin-demo > "$DEMO_OUT"
 cmp results/trace_rejoin_timeline.txt "$DEMO_OUT"
+
+# Golden shrink timeline: the deterministic live remove=1 restripe must
+# render exactly the checked-in shrink arc (restripe-start, the leaving
+# cub's shrink-drain, shrink-fence, restripe-cutover). Fatal — it pins
+# the queued shrink executor's event order under streaming load.
+echo "== recovery smoke: trace_timeline --shrink-demo vs results/trace_shrink_timeline.txt" >&2
+cargo run --release -q -p tiger-bench --bin trace_timeline -- --shrink-demo > "$DEMO_OUT"
+cmp results/trace_shrink_timeline.txt "$DEMO_OUT"
 
 # Driver conformance: the crash-rejoin scenario run under the DES oracle
 # and under the thread/socket driver (real OS threads, loopback UDP,
